@@ -1,0 +1,203 @@
+//! Dynamic-programming edit distance.
+//!
+//! These are the "traditional practices" the paper sets out to avoid calling too
+//! often (§1): quadratic-time Levenshtein distance, plus the banded (Ukkonen)
+//! variant that mrFAST-style verification actually uses — when only distances up to
+//! a threshold `e` matter, restricting the DP to a band of width `2e + 1` around the
+//! main diagonal reduces the work to `O(e·n)` without changing the answer for pairs
+//! inside the threshold.
+//!
+//! The full DP is also the reference implementation against which the Myers
+//! bit-vector algorithm ([`crate::myers`]) is property-tested.
+
+/// Full `O(n·m)` Levenshtein (unit-cost edit) distance between two sequences.
+///
+/// Uses two rolling rows so memory stays `O(min(n, m))`.
+pub fn levenshtein(a: &[u8], b: &[u8]) -> u32 {
+    // Keep the shorter sequence as the row to minimise memory.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len() as u32;
+    }
+    let mut prev: Vec<u32> = (0..=short.len() as u32).collect();
+    let mut curr: Vec<u32> = vec![0; short.len() + 1];
+    for (i, &cb) in long.iter().enumerate() {
+        curr[0] = i as u32 + 1;
+        for (j, &ca) in short.iter().enumerate() {
+            let cost = u32::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Banded Levenshtein distance (Ukkonen's band): computes the exact edit distance
+/// if it is at most `threshold`, otherwise returns `None`.
+///
+/// This is the verification kernel of a seed-and-extend mapper: a pair is mapped at
+/// a candidate location only if its distance is within the error threshold, so any
+/// distance above the band is irrelevant and the DP never leaves the band.
+pub fn banded_levenshtein(a: &[u8], b: &[u8], threshold: u32) -> Option<u32> {
+    let n = a.len();
+    let m = b.len();
+    let k = threshold as usize;
+    if n.abs_diff(m) > k {
+        return None;
+    }
+    if n == 0 {
+        return Some(m as u32);
+    }
+    if m == 0 {
+        return Some(n as u32);
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let band = 2 * k + 1;
+    // prev[d] holds D[i-1][j] for j = i-1 - k + d ; curr[d] holds D[i][j] for j = i - k + d.
+    let mut prev = vec![INF; band];
+    let mut curr = vec![INF; band];
+
+    // Row 0: D[0][j] = j for j in [0, k].
+    for d in 0..band {
+        let j = d as isize - k as isize; // j relative offset for i = 0
+        if (0..=m as isize).contains(&j) && j <= k as isize {
+            prev[d] = j as u32;
+        }
+    }
+
+    for i in 1..=n {
+        for slot in curr.iter_mut() {
+            *slot = INF;
+        }
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(m);
+        for j in lo..=hi {
+            let d = j + k - i; // index into curr
+            let mut best = INF;
+            // Deletion from `a` (move down): D[i-1][j] + 1 → prev index j + k - (i-1) = d + 1.
+            if d + 1 < band && prev[d + 1] < INF {
+                best = best.min(prev[d + 1] + 1);
+            }
+            // Insertion (move right): D[i][j-1] + 1 → curr index d - 1.
+            if d > 0 && curr[d - 1] < INF {
+                best = best.min(curr[d - 1] + 1);
+            }
+            // Match / substitution: D[i-1][j-1] + cost → prev index d.
+            if j > 0 && prev[d] < INF {
+                let cost = u32::from(a[i - 1] != b[j - 1]);
+                best = best.min(prev[d] + cost);
+            }
+            if j == 0 {
+                best = i as u32;
+            }
+            curr[d] = best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+
+    let d = m + k - n;
+    if d < band && prev[d] <= threshold {
+        Some(prev[d])
+    } else {
+        None
+    }
+}
+
+/// Hamming distance (mismatch count) between equal-length sequences; `None` when the
+/// lengths differ. Provided for the e = 0 fast path and for tests.
+pub fn hamming(a: &[u8], b: &[u8]) -> Option<u32> {
+    if a.len() != b.len() {
+        return None;
+    }
+    Some(a.iter().zip(b).filter(|(x, y)| x != y).count() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        assert_eq!(levenshtein(b"ACGTACGT", b"ACGTACGT"), 0);
+        assert_eq!(banded_levenshtein(b"ACGTACGT", b"ACGTACGT", 0), Some(0));
+    }
+
+    #[test]
+    fn single_edit_kinds() {
+        assert_eq!(levenshtein(b"ACGT", b"AGGT"), 1); // substitution
+        assert_eq!(levenshtein(b"ACGT", b"ACGGT"), 1); // insertion
+        assert_eq!(levenshtein(b"ACGT", b"AGT"), 1); // deletion
+    }
+
+    #[test]
+    fn empty_sequences() {
+        assert_eq!(levenshtein(b"", b""), 0);
+        assert_eq!(levenshtein(b"", b"ACGT"), 4);
+        assert_eq!(levenshtein(b"ACGT", b""), 4);
+        assert_eq!(banded_levenshtein(b"", b"AC", 2), Some(2));
+        assert_eq!(banded_levenshtein(b"", b"AC", 1), None);
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(banded_levenshtein(b"kitten", b"sitting", 3), Some(3));
+        assert_eq!(banded_levenshtein(b"kitten", b"sitting", 2), None);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"ACGTACGTAC", b"ACGTTCGTAC"),
+            (b"AAAA", b"TTTT"),
+            (b"ACGT", b"ACG"),
+            (b"GATTACA", b"TACTAGATTACA"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn banded_matches_full_when_within_threshold() {
+        let a = b"ACGTACGTACGTACGTACGTACGT";
+        let b = b"ACGTACCTACGTACGAACGTACGT";
+        let full = levenshtein(a, b);
+        assert_eq!(banded_levenshtein(a, b, full), Some(full));
+        assert_eq!(banded_levenshtein(a, b, full + 3), Some(full));
+    }
+
+    #[test]
+    fn banded_rejects_above_threshold() {
+        let a = b"AAAAAAAAAA";
+        let b = b"TTTTTTTTTT";
+        assert_eq!(levenshtein(a, b), 10);
+        assert_eq!(banded_levenshtein(a, b, 5), None);
+        assert_eq!(banded_levenshtein(a, b, 10), Some(10));
+    }
+
+    #[test]
+    fn banded_length_difference_short_circuit() {
+        assert_eq!(banded_levenshtein(b"ACGTACGTACGT", b"AC", 3), None);
+    }
+
+    #[test]
+    fn hamming_counts_mismatches() {
+        assert_eq!(hamming(b"ACGT", b"ACGA"), Some(1));
+        assert_eq!(hamming(b"ACGT", b"ACG"), None);
+        assert_eq!(hamming(b"", b""), Some(0));
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let seqs: Vec<&[u8]> = vec![b"ACGTACGT", b"ACGTTCGT", b"TTTTACGT", b"ACG"];
+        for a in &seqs {
+            for b in &seqs {
+                for c in &seqs {
+                    assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+                }
+            }
+        }
+    }
+}

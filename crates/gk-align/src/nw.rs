@@ -1,0 +1,220 @@
+//! Needleman-Wunsch global alignment with traceback.
+//!
+//! The paper cites Needleman-Wunsch as the canonical quadratic DP the verification
+//! stage relies on (§1). The mapper uses it to produce the final alignment (CIGAR)
+//! of a read that survives filtering and verification; the benchmark harness uses
+//! its runtime as the "expensive sequence alignment" cost that pre-alignment
+//! filtering avoids.
+
+use crate::cigar::{Cigar, CigarOp};
+use serde::{Deserialize, Serialize};
+
+/// Match / mismatch / gap scores for score-based alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoringScheme {
+    /// Score added for a matching pair of bases (positive).
+    pub match_score: i32,
+    /// Penalty for a mismatch (negative).
+    pub mismatch: i32,
+    /// Penalty for a gap base (negative, linear gap model).
+    pub gap: i32,
+}
+
+impl Default for ScoringScheme {
+    fn default() -> Self {
+        // The classic edit-distance-like scheme used by mrFAST-style verification.
+        ScoringScheme {
+            match_score: 1,
+            mismatch: -1,
+            gap: -1,
+        }
+    }
+}
+
+/// Result of a global alignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalAlignment {
+    /// Alignment score under the scoring scheme.
+    pub score: i32,
+    /// Number of edits (mismatches + gap bases) along the traceback path.
+    pub edits: u32,
+    /// CIGAR of the alignment (query = read, target = reference segment).
+    pub cigar: Cigar,
+}
+
+/// Aligns `query` against `target` globally and returns score, edit count, and CIGAR.
+pub fn needleman_wunsch(query: &[u8], target: &[u8], scoring: ScoringScheme) -> GlobalAlignment {
+    let n = query.len();
+    let m = target.len();
+    let width = m + 1;
+
+    // Score matrix and traceback matrix, flattened row-major.
+    let mut score = vec![0i32; (n + 1) * width];
+    let mut trace = vec![0u8; (n + 1) * width]; // 0 = diag, 1 = up (deletion from query view = insertion), 2 = left
+
+    for j in 1..=m {
+        score[j] = scoring.gap * j as i32;
+        trace[j] = 2;
+    }
+    for i in 1..=n {
+        score[i * width] = scoring.gap * i as i32;
+        trace[i * width] = 1;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if query[i - 1] == target[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            let diag = score[(i - 1) * width + (j - 1)] + sub;
+            let up = score[(i - 1) * width + j] + scoring.gap;
+            let left = score[i * width + (j - 1)] + scoring.gap;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 0)
+            } else if up >= left {
+                (up, 1)
+            } else {
+                (left, 2)
+            };
+            score[i * width + j] = best;
+            trace[i * width + j] = dir;
+        }
+    }
+
+    // Traceback.
+    let mut cigar_rev: Vec<(u32, CigarOp)> = Vec::new();
+    let push = |op: CigarOp, v: &mut Vec<(u32, CigarOp)>| {
+        if let Some(last) = v.last_mut() {
+            if last.1 == op {
+                last.0 += 1;
+                return;
+            }
+        }
+        v.push((1, op));
+    };
+    let mut edits = 0u32;
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        let dir = if i == 0 {
+            2
+        } else if j == 0 {
+            1
+        } else {
+            trace[i * width + j]
+        };
+        match dir {
+            0 => {
+                if query[i - 1] != target[j - 1] {
+                    edits += 1;
+                }
+                push(CigarOp::Match, &mut cigar_rev);
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                // Consume a query base with no target base: insertion to reference.
+                edits += 1;
+                push(CigarOp::Insertion, &mut cigar_rev);
+                i -= 1;
+            }
+            _ => {
+                // Consume a target base with no query base: deletion from reference.
+                edits += 1;
+                push(CigarOp::Deletion, &mut cigar_rev);
+                j -= 1;
+            }
+        }
+    }
+    let mut cigar = Cigar::new();
+    for (count, op) in cigar_rev.into_iter().rev() {
+        cigar.push(op, count);
+    }
+
+    GlobalAlignment {
+        score: score[n * width + m],
+        edits,
+        cigar,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::levenshtein;
+
+    #[test]
+    fn identical_sequences_align_with_all_matches() {
+        let a = b"ACGTACGTAC";
+        let aln = needleman_wunsch(a, a, ScoringScheme::default());
+        assert_eq!(aln.edits, 0);
+        assert_eq!(aln.score, a.len() as i32);
+        assert_eq!(aln.cigar.to_string(), "10M");
+    }
+
+    #[test]
+    fn single_substitution() {
+        let aln = needleman_wunsch(b"ACGT", b"AGGT", ScoringScheme::default());
+        assert_eq!(aln.edits, 1);
+        assert_eq!(aln.cigar.to_string(), "4M");
+    }
+
+    #[test]
+    fn single_insertion_and_deletion() {
+        let ins = needleman_wunsch(b"ACGGT", b"ACGT", ScoringScheme::default());
+        assert_eq!(ins.edits, 1);
+        assert_eq!(ins.cigar.read_len(), 5);
+        assert_eq!(ins.cigar.reference_len(), 4);
+
+        let del = needleman_wunsch(b"ACT", b"ACGT", ScoringScheme::default());
+        assert_eq!(del.edits, 1);
+        assert_eq!(del.cigar.read_len(), 3);
+        assert_eq!(del.cigar.reference_len(), 4);
+    }
+
+    #[test]
+    fn cigar_lengths_always_cover_both_sequences() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"GATTACA", b"TACTAGATTACA"),
+            (b"AAAA", b"TTTT"),
+            (b"ACGTACGTACGT", b"ACG"),
+            (b"", b"ACGT"),
+            (b"ACGT", b""),
+        ];
+        for (q, t) in cases {
+            let aln = needleman_wunsch(q, t, ScoringScheme::default());
+            assert_eq!(aln.cigar.read_len() as usize, q.len());
+            assert_eq!(aln.cigar.reference_len() as usize, t.len());
+        }
+    }
+
+    #[test]
+    fn edits_with_unit_scores_match_levenshtein() {
+        // With match=0, mismatch=-1, gap=-1 the optimal path minimises edits, so the
+        // traceback edit count equals the Levenshtein distance.
+        let scoring = ScoringScheme {
+            match_score: 0,
+            mismatch: -1,
+            gap: -1,
+        };
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"ACGTACGTAC", b"ACGTTCGTAC"),
+            (b"GATTACA", b"GAT"),
+            (b"ACGT", b"TGCA"),
+        ];
+        for (q, t) in cases {
+            let aln = needleman_wunsch(q, t, scoring);
+            assert_eq!(aln.edits, levenshtein(q, t), "case {q:?} vs {t:?}");
+            assert_eq!(aln.score, -(aln.edits as i32));
+        }
+    }
+
+    #[test]
+    fn empty_against_empty() {
+        let aln = needleman_wunsch(b"", b"", ScoringScheme::default());
+        assert_eq!(aln.score, 0);
+        assert_eq!(aln.edits, 0);
+        assert!(aln.cigar.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Smith-Waterman local alignment with traceback.
+//!
+//! Cited in the paper (§1) as the other classic quadratic DP used during
+//! verification. The mapper does not need local alignment for its core path, but a
+//! downstream user of the library (e.g. split-read analysis) does, and the bench
+//! harness uses it as a second "expensive aligner" data point.
+
+use crate::cigar::{Cigar, CigarOp};
+use crate::nw::ScoringScheme;
+use serde::{Deserialize, Serialize};
+
+/// Result of a local alignment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalAlignment {
+    /// Best local alignment score (≥ 0).
+    pub score: i32,
+    /// 0-based start of the aligned region on the query.
+    pub query_start: usize,
+    /// 0-based exclusive end of the aligned region on the query.
+    pub query_end: usize,
+    /// 0-based start of the aligned region on the target.
+    pub target_start: usize,
+    /// 0-based exclusive end of the aligned region on the target.
+    pub target_end: usize,
+    /// CIGAR of the aligned region, with soft clips for the unaligned query ends.
+    pub cigar: Cigar,
+}
+
+/// Aligns `query` against `target` locally (Smith-Waterman, linear gaps).
+pub fn smith_waterman(query: &[u8], target: &[u8], scoring: ScoringScheme) -> LocalAlignment {
+    let n = query.len();
+    let m = target.len();
+    let width = m + 1;
+    let mut score = vec![0i32; (n + 1) * width];
+    let mut trace = vec![3u8; (n + 1) * width]; // 0 diag, 1 up, 2 left, 3 stop
+
+    let mut best = 0i32;
+    let mut best_cell = (0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = if query[i - 1] == target[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            let diag = score[(i - 1) * width + (j - 1)] + sub;
+            let up = score[(i - 1) * width + j] + scoring.gap;
+            let left = score[i * width + (j - 1)] + scoring.gap;
+            let (mut cell, mut dir) = (0i32, 3u8);
+            if diag > cell {
+                cell = diag;
+                dir = 0;
+            }
+            if up > cell {
+                cell = up;
+                dir = 1;
+            }
+            if left > cell {
+                cell = left;
+                dir = 2;
+            }
+            score[i * width + j] = cell;
+            trace[i * width + j] = dir;
+            if cell > best {
+                best = cell;
+                best_cell = (i, j);
+            }
+        }
+    }
+
+    let (mut i, mut j) = best_cell;
+    let (query_end, target_end) = (i, j);
+    let mut runs_rev: Vec<(u32, CigarOp)> = Vec::new();
+    let push = |op: CigarOp, v: &mut Vec<(u32, CigarOp)>| {
+        if let Some(last) = v.last_mut() {
+            if last.1 == op {
+                last.0 += 1;
+                return;
+            }
+        }
+        v.push((1, op));
+    };
+    while i > 0 && j > 0 && score[i * width + j] > 0 {
+        match trace[i * width + j] {
+            0 => {
+                push(CigarOp::Match, &mut runs_rev);
+                i -= 1;
+                j -= 1;
+            }
+            1 => {
+                push(CigarOp::Insertion, &mut runs_rev);
+                i -= 1;
+            }
+            2 => {
+                push(CigarOp::Deletion, &mut runs_rev);
+                j -= 1;
+            }
+            _ => break,
+        }
+    }
+    let (query_start, target_start) = (i, j);
+
+    let mut cigar = Cigar::new();
+    cigar.push(CigarOp::SoftClip, query_start as u32);
+    for (count, op) in runs_rev.into_iter().rev() {
+        cigar.push(op, count);
+    }
+    cigar.push(CigarOp::SoftClip, (n - query_end) as u32);
+
+    LocalAlignment {
+        score: best,
+        query_start,
+        query_end,
+        target_start,
+        target_end,
+        cigar,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_align_fully() {
+        let a = b"ACGTACGT";
+        let aln = smith_waterman(a, a, ScoringScheme::default());
+        assert_eq!(aln.score, 8);
+        assert_eq!(aln.query_start, 0);
+        assert_eq!(aln.query_end, 8);
+        assert_eq!(aln.cigar.to_string(), "8M");
+    }
+
+    #[test]
+    fn finds_embedded_match() {
+        // Query matches a region in the middle of the target.
+        let query = b"GGGGACGTACGTGGGG";
+        let target = b"TTTTTTACGTACGTTTTTTT";
+        let aln = smith_waterman(query, target, ScoringScheme::default());
+        assert!(aln.score >= 8);
+        let matched = &query[aln.query_start..aln.query_end];
+        let target_matched = &target[aln.target_start..aln.target_end];
+        assert!(matched.len() >= 8);
+        assert_eq!(matched.len(), target_matched.len());
+    }
+
+    #[test]
+    fn soft_clips_cover_unaligned_query_ends() {
+        let query = b"TTTACGTACGTAAA";
+        let target = b"ACGTACGT";
+        let aln = smith_waterman(query, target, ScoringScheme::default());
+        assert_eq!(aln.cigar.read_len() as usize, query.len());
+    }
+
+    #[test]
+    fn dissimilar_sequences_have_low_score() {
+        let aln = smith_waterman(b"AAAAAAA", b"TTTTTTT", ScoringScheme::default());
+        assert_eq!(aln.score, 0);
+    }
+
+    #[test]
+    fn local_score_never_negative() {
+        let aln = smith_waterman(b"ACACAC", b"GTGTGT", ScoringScheme::default());
+        assert!(aln.score >= 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let aln = smith_waterman(b"", b"ACGT", ScoringScheme::default());
+        assert_eq!(aln.score, 0);
+        let aln = smith_waterman(b"ACGT", b"", ScoringScheme::default());
+        assert_eq!(aln.score, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The verification stage: exact edit-distance checking against a threshold.
+//!
+//! In a seed-and-extend mapper, *verification* decides whether a candidate location
+//! really maps the read within the error threshold — the computationally expensive
+//! step GateKeeper-GPU exists to shield (§1, §3.4: "The verification performs the
+//! exact edit distance calculation, and GateKeeper-GPU acts as an intermediate step
+//! in preparation for verification").
+//!
+//! [`verify_within`] is the one-shot function; [`Verifier`] adds bookkeeping
+//! (counters and an accumulated cost model) so the mapper and the benchmark harness
+//! can report how many pairs entered verification and how long it took — the
+//! columns of Tables 3–5 of the paper.
+
+use crate::dp::banded_levenshtein;
+use crate::myers::edit_distance;
+use serde::{Deserialize, Serialize};
+
+/// Returns the exact edit distance if the pair aligns within `threshold`, `None`
+/// otherwise. Uses the banded DP, which is exact for all distances ≤ threshold.
+pub fn verify_within(read: &[u8], reference: &[u8], threshold: u32) -> Option<u32> {
+    banded_levenshtein(read, reference, threshold)
+}
+
+/// Statistics accumulated by a [`Verifier`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifierStats {
+    /// Number of pairs that entered verification.
+    pub pairs_verified: u64,
+    /// Number of pairs whose edit distance was within the threshold.
+    pub accepted: u64,
+    /// Number of pairs rejected by verification.
+    pub rejected: u64,
+    /// Total number of DP cells evaluated (the banded DP touches ~(2e+1)·n cells
+    /// per pair) — the cost proxy used for the "theoretical speedup" of Table 4.
+    pub dp_cells: u64,
+}
+
+/// Threshold-bound verifier with counters.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    threshold: u32,
+    stats: VerifierStats,
+}
+
+impl Verifier {
+    /// Creates a verifier for the given error threshold.
+    pub fn new(threshold: u32) -> Verifier {
+        Verifier {
+            threshold,
+            stats: VerifierStats::default(),
+        }
+    }
+
+    /// The error threshold this verifier enforces.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Verifies one pair, updating the counters.
+    pub fn verify(&mut self, read: &[u8], reference: &[u8]) -> Option<u32> {
+        self.stats.pairs_verified += 1;
+        self.stats.dp_cells += (2 * self.threshold as u64 + 1) * read.len().max(1) as u64;
+        let result = verify_within(read, reference, self.threshold);
+        match result {
+            Some(_) => self.stats.accepted += 1,
+            None => self.stats.rejected += 1,
+        }
+        result
+    }
+
+    /// Verifies with the full (unbanded) Myers distance — used by the accuracy
+    /// harness when the exact distance of rejected pairs is also needed.
+    pub fn verify_exact(&mut self, read: &[u8], reference: &[u8]) -> u32 {
+        self.stats.pairs_verified += 1;
+        self.stats.dp_cells += (read.len() * reference.len() / 64).max(1) as u64;
+        let d = edit_distance(read, reference);
+        if d <= self.threshold {
+            self.stats.accepted += 1;
+        } else {
+            self.stats.rejected += 1;
+        }
+        d
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> VerifierStats {
+        self.stats
+    }
+
+    /// Resets the counters.
+    pub fn reset(&mut self) {
+        self.stats = VerifierStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_within_accepts_and_rejects() {
+        assert_eq!(verify_within(b"ACGTACGT", b"ACGTACGT", 0), Some(0));
+        assert_eq!(verify_within(b"ACGTACGT", b"ACGAACGT", 1), Some(1));
+        assert_eq!(verify_within(b"ACGTACGT", b"ACGAACGA", 1), None);
+    }
+
+    #[test]
+    fn verifier_counts_accepts_and_rejects() {
+        let mut v = Verifier::new(2);
+        assert!(v.verify(b"ACGTACGT", b"ACGTACGT").is_some());
+        assert!(v.verify(b"ACGTACGT", b"ACGAACGA").is_some());
+        assert!(v.verify(b"AAAAAAAA", b"TTTTTTTT").is_none());
+        let stats = v.stats();
+        assert_eq!(stats.pairs_verified, 3);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.dp_cells > 0);
+    }
+
+    #[test]
+    fn verify_exact_returns_true_distance_above_threshold() {
+        let mut v = Verifier::new(1);
+        let d = v.verify_exact(b"AAAAAAAA", b"TTTTTTTT");
+        assert_eq!(d, 8);
+        assert_eq!(v.stats().rejected, 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut v = Verifier::new(3);
+        v.verify(b"ACGT", b"ACGT");
+        v.reset();
+        assert_eq!(v.stats(), VerifierStats::default());
+    }
+
+    #[test]
+    fn threshold_is_exposed() {
+        assert_eq!(Verifier::new(7).threshold(), 7);
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion bench: host-side 2-bit encoding cost (the "encoding actor" trade-off
+//! of Figure 6 — host encoding buys smaller transfers at the price of this work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gk_seq::packed::{encode_batch_parallel, PackedSeq};
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    group.sample_size(20);
+
+    for read_len in [100usize, 150, 250] {
+        let sequences: Vec<Vec<u8>> = (0..512)
+            .map(|i| (0..read_len).map(|j| b"ACGT"[(i * 31 + j * 7) % 4]).collect())
+            .collect();
+        group.throughput(Throughput::Bytes((read_len * sequences.len()) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("{read_len}bp")),
+            &sequences,
+            |b, sequences| {
+                b.iter(|| {
+                    sequences
+                        .iter()
+                        .map(|s| PackedSeq::from_ascii(black_box(s)))
+                        .count()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{read_len}bp")),
+            &sequences,
+            |b, sequences| {
+                let refs: Vec<&[u8]> = sequences.iter().map(|s| s.as_slice()).collect();
+                b.iter(|| encode_batch_parallel(black_box(&refs)).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: batched GateKeeper-GPU runs on the simulated device — wall
+//! clock cost of processing a pair set as a function of batch size and encoding
+//! actor (the knob explored by Table 1 and Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gk_core::config::{EncodingActor, FilterConfig};
+use gk_core::gpu::GateKeeperGpu;
+use gk_seq::datasets::DatasetProfile;
+use std::hint::black_box;
+
+fn bench_gpu_batches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_batch");
+    group.sample_size(10);
+
+    let set = DatasetProfile::set3().generate(4_000, 99);
+    group.throughput(Throughput::Elements(set.len() as u64));
+
+    for batch_size in [250usize, 1_000, 4_000] {
+        for encoding in [EncodingActor::Device, EncodingActor::Host] {
+            let label = match encoding {
+                EncodingActor::Device => "device_encoded",
+                EncodingActor::Host => "host_encoded",
+            };
+            group.bench_with_input(BenchmarkId::new(label, batch_size), &set, |b, set| {
+                let gpu = GateKeeperGpu::with_default_device(
+                    FilterConfig::new(100, 5)
+                        .with_encoding(encoding)
+                        .with_max_reads_per_batch(batch_size),
+                );
+                b.iter(|| gpu.filter_set(black_box(set)).accepted())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_batches);
+criterion_main!(benches);

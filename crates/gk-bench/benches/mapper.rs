@@ -1,0 +1,59 @@
+//! Criterion bench: end-to-end read mapping on a small synthetic genome, with and
+//! without GateKeeper-GPU pre-alignment filtering (the wall-clock counterpart of
+//! Tables 3 and 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gk_core::config::FilterConfig;
+use gk_core::gpu::GateKeeperGpu;
+use gk_mapper::pipeline::{MapperConfig, PreFilter, ReadMapper};
+use gk_seq::reference::ReferenceBuilder;
+use gk_seq::simulate::{ErrorProfile, ReadSimulator};
+use std::hint::black_box;
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper");
+    group.sample_size(10);
+
+    let reference = ReferenceBuilder::new(200_000)
+        .seed(5)
+        .repeat_fraction(0.3)
+        .n_gaps(0, 0)
+        .build();
+    let reads: Vec<_> = ReadSimulator::new(100, ErrorProfile::illumina())
+        .seed(6)
+        .simulate(&reference, 400)
+        .iter()
+        .map(|r| r.to_fastq())
+        .collect();
+    let threshold = 3u32;
+    let mapper = ReadMapper::new(reference, MapperConfig::new(threshold));
+    group.throughput(Throughput::Elements(reads.len() as u64));
+
+    group.bench_with_input(BenchmarkId::new("no_filter", "100bp"), &reads, |b, reads| {
+        b.iter(|| {
+            mapper
+                .map_reads(black_box(reads), &PreFilter::None)
+                .stats
+                .mappings
+        })
+    });
+
+    group.bench_with_input(
+        BenchmarkId::new("gatekeeper_gpu", "100bp"),
+        &reads,
+        |b, reads| {
+            b.iter(|| {
+                let gpu = GateKeeperGpu::with_default_device(FilterConfig::new(100, threshold));
+                mapper
+                    .map_reads(black_box(reads), &PreFilter::Gpu(gpu))
+                    .stats
+                    .mappings
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Minimal command-line argument handling for the harness binaries.
+//!
+//! Every binary accepts the same small set of flags so the experiments can be
+//! scaled up towards the paper's full 30-million-pair / whole-genome sizes when
+//! more time is available:
+//!
+//! * `--pairs N` — number of pairs per dataset (default varies per experiment);
+//! * `--reads N` — number of reads for mapper experiments;
+//! * `--genome N` — synthetic reference length for mapper experiments;
+//! * `--full` — run the complete sweep instead of the representative subset;
+//! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions.
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    pairs: Option<usize>,
+    reads: Option<usize>,
+    genome: Option<usize>,
+    /// Run the full sweep rather than the representative subset.
+    pub full: bool,
+    /// Include the Minimap2/BWA-MEM candidate profiles (Figure S.5/S.6).
+    pub mapper_profiles: bool,
+    /// Include the additional real-set rows of Table S.26.
+    pub extra_sets: bool,
+}
+
+impl HarnessArgs {
+    /// Parses from the process arguments.
+    pub fn parse() -> HarnessArgs {
+        HarnessArgs::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parses from an explicit argument list (used in tests).
+    pub fn parse_from(args: Vec<String>) -> HarnessArgs {
+        let mut parsed = HarnessArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--pairs" => parsed.pairs = iter.next().and_then(|v| v.parse().ok()),
+                "--reads" => parsed.reads = iter.next().and_then(|v| v.parse().ok()),
+                "--genome" => parsed.genome = iter.next().and_then(|v| v.parse().ok()),
+                "--full" => parsed.full = true,
+                "--mapper-profiles" => parsed.mapper_profiles = true,
+                "--extra-sets" => parsed.extra_sets = true,
+                other => eprintln!("warning: ignoring unknown argument `{other}`"),
+            }
+        }
+        parsed
+    }
+
+    /// Number of pairs to generate, defaulting to `default`.
+    pub fn pairs(&self, default: usize) -> usize {
+        self.pairs.unwrap_or(default).max(1)
+    }
+
+    /// Number of reads to simulate, defaulting to `default`.
+    pub fn reads(&self, default: usize) -> usize {
+        self.reads.unwrap_or(default).max(1)
+    }
+
+    /// Synthetic genome length, defaulting to `default`.
+    pub fn genome(&self, default: usize) -> usize {
+        self.genome.unwrap_or(default).max(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let args = HarnessArgs::parse_from(vec!["--bogus".into(), "--reads".into(), "7".into()]);
+        assert_eq!(args.reads(1), 7);
+    }
+
+    #[test]
+    fn malformed_numbers_fall_back_to_defaults() {
+        let args = HarnessArgs::parse_from(vec!["--pairs".into(), "abc".into()]);
+        assert_eq!(args.pairs(99), 99);
+    }
+
+    #[test]
+    fn genome_has_a_floor() {
+        let args = HarnessArgs::parse_from(vec!["--genome".into(), "5".into()]);
+        assert_eq!(args.genome(1_000_000), 10_000);
+    }
+
+    #[test]
+    fn flags_are_detected() {
+        let args = HarnessArgs::parse_from(vec![
+            "--mapper-profiles".into(),
+            "--extra-sets".into(),
+            "--full".into(),
+        ]);
+        assert!(args.mapper_profiles && args.extra_sets && args.full);
+    }
+}

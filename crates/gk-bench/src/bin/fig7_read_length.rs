@@ -1,0 +1,50 @@
+//! Figure 7 (and Sup. Table S.20) — effect of read length on single-GPU filtering
+//! throughput (filter time), for error thresholds 0 and 4, in both setups and both
+//! encoding modes.
+//!
+//! Usage: `cargo run --release -p gk-bench --bin fig7_read_length [--pairs N]`
+
+use gk_bench::datasets::throughput_set;
+use gk_bench::runner::gpu_throughput;
+use gk_bench::table::{fmt, Table};
+use gk_bench::{HarnessArgs, SETUP1, SETUP2};
+use gk_core::config::EncodingActor;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let pairs = args.pairs(40_000);
+
+    println!("Figure 7 / Table S.20: effect of read length on single-GPU filtering throughput");
+    println!("(millions of filtrations per second with respect to filter time, {pairs} pairs per point)\n");
+
+    let mut table = Table::new(vec![
+        "e",
+        "Read length",
+        "Setup 1 device-enc",
+        "Setup 1 host-enc",
+        "Setup 2 device-enc",
+        "Setup 2 host-enc",
+    ]);
+
+    for e in [0u32, 4] {
+        for read_len in [100usize, 150, 250] {
+            let set = throughput_set(read_len, pairs);
+            let s1_dev = gpu_throughput(&SETUP1, 1, &set, e, EncodingActor::Device);
+            let s1_host = gpu_throughput(&SETUP1, 1, &set, e, EncodingActor::Host);
+            let s2_dev = gpu_throughput(&SETUP2, 1, &set, e, EncodingActor::Device);
+            let s2_host = gpu_throughput(&SETUP2, 1, &set, e, EncodingActor::Host);
+            table.row(vec![
+                e.to_string(),
+                format!("{read_len}bp"),
+                fmt(s1_dev.filter_mps, 2),
+                fmt(s1_host.filter_mps, 2),
+                fmt(s2_dev.filter_mps, 2),
+                fmt(s2_host.filter_mps, 2),
+            ]);
+        }
+    }
+
+    table.print();
+    println!("Expected shape (paper): throughput falls monotonically with read length (roughly 3.2 → 2.1 → 1.4");
+    println!("Mpairs/s device-encoded in Setup 1), and device encoding beats host encoding on filter time.");
+}

@@ -1,0 +1,54 @@
+//! Figure 8 (and Sup. Figure S.15, Tables S.21–S.23) — multi-GPU filtering
+//! throughput of GateKeeper-GPU in Setup 1 as the number of devices grows from 1 to
+//! 8, by kernel time and filter time, in both encoding modes.
+//!
+//! Usage: `cargo run --release -p gk-bench --bin fig8_multi_gpu [--pairs N] [--full]`
+//! (`--full` adds the 150 bp / e = 4 and 250 bp / e = 8 panels of Figure S.15.)
+
+use gk_bench::datasets::throughput_set;
+use gk_bench::runner::gpu_throughput;
+use gk_bench::table::{fmt, Table};
+use gk_bench::{HarnessArgs, SETUP1};
+use gk_core::config::EncodingActor;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let pairs = args.pairs(40_000);
+
+    println!("Figure 8 / Tables S.21-S.23: multi-GPU filtering throughput in Setup 1");
+    println!("(millions of filtrations per second, {pairs} pairs per point)\n");
+
+    let panels: Vec<(usize, u32)> = if args.full {
+        vec![(100, 2), (150, 4), (250, 8)]
+    } else {
+        vec![(100, 2)]
+    };
+
+    for (read_len, e) in panels {
+        let set = throughput_set(read_len, pairs);
+        let mut table = Table::new(vec![
+            "# GPUs",
+            "Device-enc kernel",
+            "Host-enc kernel",
+            "Device-enc filter",
+            "Host-enc filter",
+        ])
+        .with_title(format!("{read_len}bp, e = {e}"));
+        for devices in 1..=SETUP1.max_devices {
+            let device_enc = gpu_throughput(&SETUP1, devices, &set, e, EncodingActor::Device);
+            let host_enc = gpu_throughput(&SETUP1, devices, &set, e, EncodingActor::Host);
+            table.row(vec![
+                devices.to_string(),
+                fmt(device_enc.kernel_mps, 0),
+                fmt(host_enc.kernel_mps, 0),
+                fmt(device_enc.filter_mps, 1),
+                fmt(host_enc.filter_mps, 1),
+            ]);
+        }
+        table.print();
+    }
+
+    println!("Expected shape (paper): kernel-time throughput scales almost linearly with the device count");
+    println!("(fastest in host-encoded mode), while filter-time throughput grows far more slowly because the");
+    println!("host-side preparation does not parallelise across devices.");
+}

@@ -1,0 +1,77 @@
+//! Table 1 — effect of the maximum number of reads processed per batch on the
+//! overall / encode / kernel / filter times of mrFAST + GateKeeper-GPU.
+//!
+//! The paper maps chromosome 1 with batch limits of 100, 1,000, 10,000 and 100,000
+//! reads, in both encoding modes, and finds that larger batches reduce every time
+//! component because fewer host↔device transfers are issued.
+//!
+//! Usage: `cargo run --release -p gk-bench --bin table1_batch_size [--reads N] [--genome N]`
+
+use gk_bench::datasets::{whole_genome_reads, whole_genome_reference};
+use gk_bench::table::{fmt, Table};
+use gk_bench::HarnessArgs;
+use gk_core::config::{EncodingActor, FilterConfig};
+use gk_core::gpu::GateKeeperGpu;
+use gk_mapper::pipeline::{MapperConfig, PreFilter, ReadMapper};
+use gk_seq::simulate::ErrorProfile;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let genome_len = args.genome(400_000);
+    let read_count = args.reads(4_000);
+    let threshold = 5u32;
+
+    println!("Table 1: effect of the maximum number of reads processed per batch");
+    println!(
+        "(synthetic chromosome of {genome_len} bp, {read_count} reads of 100 bp, e = {threshold})\n"
+    );
+
+    let reference = whole_genome_reference(genome_len);
+    let reads = whole_genome_reads(&reference, 100, read_count, ErrorProfile::illumina());
+
+    let mut table = Table::new(vec![
+        "Max # Reads",
+        "Encoding",
+        "Overall (s)",
+        "Encode/Copy (s)",
+        "Kernel (s)",
+        "Filter (s)",
+    ]);
+
+    let batch_limits = if args.full {
+        vec![100usize, 1_000, 10_000, 100_000]
+    } else {
+        vec![100usize, 1_000, 10_000, read_count.max(100)]
+    };
+
+    for &max_reads in &batch_limits {
+        for encoding in [EncodingActor::Host, EncodingActor::Device] {
+            let mapper = ReadMapper::new(
+                reference.clone(),
+                MapperConfig::new(threshold).with_max_reads_per_batch(max_reads),
+            );
+            let gpu = GateKeeperGpu::with_default_device(
+                FilterConfig::new(100, threshold)
+                    .with_encoding(encoding)
+                    .with_max_reads_per_batch(max_reads),
+            );
+            let outcome = mapper.map_reads(&reads, &PreFilter::Gpu(gpu));
+            let stats = outcome.stats;
+            let encoding_name = match encoding {
+                EncodingActor::Host => "Host",
+                EncodingActor::Device => "Device",
+            };
+            table.row(vec![
+                max_reads.to_string(),
+                encoding_name.to_string(),
+                fmt(stats.total_seconds, 3),
+                fmt(stats.preprocessing_seconds, 3),
+                fmt(stats.filter_kernel_seconds, 4),
+                fmt(stats.filter_seconds, 3),
+            ]);
+        }
+    }
+
+    table.print();
+    println!("Expected shape (paper): every column shrinks as the batch grows; 100,000 reads per batch is best.");
+}

@@ -1,0 +1,135 @@
+//! Scaled instantiations of the paper's datasets for the harness binaries.
+//!
+//! The paper's pair sets contain 30 million pairs each and the whole-genome runs
+//! map millions of reads against GRCh37. The harness reproduces the same
+//! *experiments* at a reduced default scale (overridable with `--pairs`, `--reads`,
+//! `--genome`), because the compared quantities — rates, ratios, reductions,
+//! accuracy percentages — are scale-free.
+
+use gk_seq::datasets::DatasetProfile;
+use gk_seq::fastq::FastqRecord;
+use gk_seq::pairs::PairSet;
+use gk_seq::reference::{Reference, ReferenceBuilder};
+use gk_seq::simulate::{ErrorProfile, ReadSimulator};
+
+/// The number of pairs each paper set really contains.
+pub const PAPER_SET_SIZE: usize = 30_000_000;
+
+/// Deterministic seed base so every run of a harness binary prints identical rows.
+const SEED: u64 = 0x6B67_5F62;
+
+/// Generates the throughput/accuracy set for a read length (the paper's Set 3 /
+/// Set 7 / Set 11 family) at the requested scale.
+pub fn throughput_set(read_len: usize, pairs: usize) -> PairSet {
+    let profile = match read_len {
+        100 => DatasetProfile::set3(),
+        150 => DatasetProfile::set7(),
+        250 => DatasetProfile::set11(),
+        other => DatasetProfile::low_edit(other),
+    };
+    profile.generate(pairs, SEED ^ read_len as u64)
+}
+
+/// Generates the low-edit accuracy set for a read length (Set 1 / Set 5 / Set 9).
+pub fn low_edit_set(read_len: usize, pairs: usize) -> PairSet {
+    let profile = match read_len {
+        100 => DatasetProfile::set1(),
+        150 => DatasetProfile::set5(),
+        250 => DatasetProfile::set9(),
+        other => DatasetProfile::low_edit(other),
+    };
+    profile.generate(pairs, SEED ^ (read_len as u64) << 1)
+}
+
+/// Generates the high-edit accuracy set for a read length (Set 4 / Set 8 / Set 12).
+pub fn high_edit_set(read_len: usize, pairs: usize) -> PairSet {
+    let profile = match read_len {
+        100 => DatasetProfile::set4(),
+        150 => DatasetProfile::set8(),
+        250 => DatasetProfile::set12(),
+        other => DatasetProfile::high_edit(other),
+    };
+    profile.generate(pairs, SEED ^ (read_len as u64) << 2)
+}
+
+/// Generates the accuracy-vs-Edlib sets of §5.1.1 (Set 3 / Set 6 / Set 10).
+pub fn accuracy_set(read_len: usize, pairs: usize) -> PairSet {
+    let profile = match read_len {
+        100 => DatasetProfile::set3(),
+        150 => DatasetProfile::set6(),
+        250 => DatasetProfile::set10(),
+        other => DatasetProfile::low_edit(other),
+    };
+    profile.generate(pairs, SEED ^ (read_len as u64) << 3)
+}
+
+/// Minimap2-candidate-like set (Figure S.5).
+pub fn minimap2_set(pairs: usize) -> PairSet {
+    DatasetProfile::minimap2_like().generate(pairs, SEED ^ 0xA2)
+}
+
+/// BWA-MEM-candidate-like set (Figure S.6).
+pub fn bwa_mem_set(pairs: usize) -> PairSet {
+    DatasetProfile::bwa_mem_like().generate(pairs, SEED ^ 0xB3)
+}
+
+/// A synthetic chromosome for the whole-genome experiments: repeat-rich so seeding
+/// over-produces candidates, with a couple of assembly gaps.
+pub fn whole_genome_reference(length: usize) -> Reference {
+    ReferenceBuilder::new(length)
+        .seed(SEED)
+        .name("chrSim")
+        .repeat_fraction(0.4)
+        .repeat_family_copies(16)
+        .repeat_divergence(0.10)
+        .n_gaps(2, length / 500)
+        .build()
+}
+
+/// Simulated read set in the style of the paper's whole-genome inputs.
+pub fn whole_genome_reads(
+    reference: &Reference,
+    read_len: usize,
+    count: usize,
+    profile: ErrorProfile,
+) -> Vec<FastqRecord> {
+    ReadSimulator::new(read_len, profile)
+        .seed(SEED ^ read_len as u64 ^ count as u64)
+        .simulate(reference, count)
+        .iter()
+        .map(|r| r.to_fastq())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sets_have_requested_sizes_and_lengths() {
+        for len in [100usize, 150, 250] {
+            assert_eq!(throughput_set(len, 500).read_len, len);
+            assert_eq!(low_edit_set(len, 200).len(), 200);
+            assert_eq!(high_edit_set(len, 200).len(), 200);
+            assert_eq!(accuracy_set(len, 200).len(), 200);
+        }
+        assert_eq!(minimap2_set(100).len(), 100);
+        assert_eq!(bwa_mem_set(100).len(), 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_calls() {
+        assert_eq!(throughput_set(100, 300), throughput_set(100, 300));
+        assert_eq!(low_edit_set(150, 100), low_edit_set(150, 100));
+    }
+
+    #[test]
+    fn whole_genome_fixture_is_usable() {
+        let reference = whole_genome_reference(60_000);
+        assert_eq!(reference.name, "chrSim");
+        assert!(reference.n_fraction() > 0.0);
+        let reads = whole_genome_reads(&reference, 100, 50, ErrorProfile::illumina());
+        assert_eq!(reads.len(), 50);
+        assert!(reads.iter().all(|r| r.sequence.len() == 100));
+    }
+}

@@ -1,0 +1,118 @@
+//! Shared experiment runners used by several harness binaries.
+
+use crate::setups::Setup;
+use gk_core::config::{EncodingActor, FilterConfig};
+use gk_core::cpu::GateKeeperCpu;
+use gk_core::gpu::GateKeeperGpu;
+use gk_core::multi_gpu::MultiGpuGateKeeper;
+use gk_core::timing::billions_in_40_minutes;
+use gk_seq::pairs::PairSet;
+use serde::{Deserialize, Serialize};
+
+/// One throughput measurement (a cell family of Table 2 / S.13–S.15).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Kernel time in seconds for the whole set.
+    pub kernel_seconds: f64,
+    /// Filter time in seconds for the whole set.
+    pub filter_seconds: f64,
+    /// Kernel-time throughput in billions of filtrations per 40 minutes.
+    pub kernel_b40: f64,
+    /// Filter-time throughput in billions of filtrations per 40 minutes.
+    pub filter_b40: f64,
+    /// Kernel-time throughput in millions of filtrations per second.
+    pub kernel_mps: f64,
+    /// Filter-time throughput in millions of filtrations per second.
+    pub filter_mps: f64,
+}
+
+impl ThroughputPoint {
+    /// Builds a point from measured times over `pairs` filtrations.
+    pub fn new(pairs: usize, kernel_seconds: f64, filter_seconds: f64) -> ThroughputPoint {
+        ThroughputPoint {
+            kernel_seconds,
+            filter_seconds,
+            kernel_b40: billions_in_40_minutes(pairs, kernel_seconds),
+            filter_b40: billions_in_40_minutes(pairs, filter_seconds),
+            kernel_mps: if kernel_seconds > 0.0 {
+                pairs as f64 / kernel_seconds / 1e6
+            } else {
+                0.0
+            },
+            filter_mps: if filter_seconds > 0.0 {
+                pairs as f64 / filter_seconds / 1e6
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Runs GateKeeper-GPU over a set on `devices` GPUs of a setup.
+pub fn gpu_throughput(
+    setup: &Setup,
+    devices: usize,
+    set: &PairSet,
+    threshold: u32,
+    encoding: EncodingActor,
+) -> ThroughputPoint {
+    let config = FilterConfig::new(set.read_len, threshold).with_encoding(encoding);
+    if devices <= 1 {
+        let run = GateKeeperGpu::new(setup.device(), config).filter_set(set);
+        ThroughputPoint::new(set.len(), run.kernel_seconds(), run.filter_seconds())
+    } else {
+        let run = MultiGpuGateKeeper::new(setup.device(), devices, config).filter_set(set);
+        ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds)
+    }
+}
+
+/// Runs the multicore GateKeeper-CPU baseline over a set.
+pub fn cpu_throughput(set: &PairSet, threshold: u32, cores: usize) -> ThroughputPoint {
+    let run = GateKeeperCpu::new(threshold, cores).filter_set(set);
+    ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds)
+}
+
+/// Speedup of `baseline_seconds` over `improved_seconds` (≥ 1 means faster).
+pub fn speedup(baseline_seconds: f64, improved_seconds: f64) -> f64 {
+    if improved_seconds <= 0.0 {
+        0.0
+    } else {
+        baseline_seconds / improved_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::throughput_set;
+    use crate::setups::SETUP1;
+
+    #[test]
+    fn throughput_point_units_are_consistent() {
+        let point = ThroughputPoint::new(1_000_000, 2.0, 10.0);
+        assert!((point.kernel_mps - 0.5).abs() < 1e-9);
+        assert!(point.kernel_b40 > point.filter_b40);
+    }
+
+    #[test]
+    fn gpu_beats_cpu_on_kernel_time() {
+        let set = throughput_set(100, 3_000);
+        let gpu = gpu_throughput(&SETUP1, 1, &set, 2, EncodingActor::Host);
+        let cpu = cpu_throughput(&set, 2, 2);
+        assert!(gpu.kernel_seconds < cpu.kernel_seconds);
+    }
+
+    #[test]
+    fn multi_gpu_raises_kernel_throughput() {
+        let set = throughput_set(100, 3_000);
+        let one = gpu_throughput(&SETUP1, 1, &set, 2, EncodingActor::Host);
+        let eight = gpu_throughput(&SETUP1, 8, &set, 2, EncodingActor::Host);
+        assert!(eight.kernel_b40 > one.kernel_b40);
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        assert!((speedup(10.0, 2.0) - 5.0).abs() < 1e-12);
+        assert_eq!(speedup(10.0, 0.0), 0.0);
+    }
+}

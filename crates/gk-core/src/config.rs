@@ -1,0 +1,205 @@
+//! Configuration and the system-configuration step of §3.1.
+//!
+//! GateKeeper-GPU fixes the read length and error threshold at compile time (CUDA
+//! kernels cannot allocate dynamically-sized per-thread arrays); in this
+//! reproduction they are runtime fields of [`FilterConfig`], with the same meaning.
+//! Before the first kernel launch the system-configuration step inspects the device
+//! (free global memory, maximum threads per block) and derives
+//!
+//! * the **thread load** — the per-filtration memory footprint (encoded read and
+//!   reference words, the `2e + 1` intermediate masks, and the result slot), and
+//! * the **batch size** — the number of filtrations per kernel call, maximised so
+//!   the number of host↔device transfers stays minimal (§3.1: "the configuration
+//!   step ensures that the batch size is maximized").
+
+use gk_gpusim::device::DeviceSpec;
+use gk_gpusim::executor::LaunchConfig;
+use gk_seq::packed::BASES_PER_WORD;
+use serde::{Deserialize, Serialize};
+
+/// Which processor encodes the sequences into their 2-bit representation (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EncodingActor {
+    /// The CPU encodes before the transfer: smaller transfers, but host time is
+    /// spent encoding ("Encoding in the host ... is cost-effective in data
+    /// transfer").
+    Host,
+    /// Each GPU thread encodes its own sequences: larger (raw ASCII) transfers, more
+    /// kernel work, but no host encoding time.
+    Device,
+}
+
+/// User-facing configuration of a GateKeeper-GPU instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Read length in bases (100, 150, 250… in the paper's datasets).
+    pub read_len: usize,
+    /// Error threshold `e` (at most 10% of the read length in all experiments).
+    pub threshold: u32,
+    /// Which processor performs the 2-bit encoding.
+    pub encoding: EncodingActor,
+    /// Maximum number of reads whose candidates are gathered into one batch before
+    /// a kernel call (Table 1 explores this knob; 100,000 works best for mrFAST).
+    pub max_reads_per_batch: usize,
+}
+
+impl FilterConfig {
+    /// Creates a configuration with the paper's defaults (device encoding,
+    /// 100,000 reads per batch).
+    pub fn new(read_len: usize, threshold: u32) -> FilterConfig {
+        FilterConfig {
+            read_len,
+            threshold,
+            encoding: EncodingActor::Device,
+            max_reads_per_batch: 100_000,
+        }
+    }
+
+    /// Sets the encoding actor.
+    pub fn with_encoding(mut self, encoding: EncodingActor) -> FilterConfig {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Sets the maximum number of reads per batch.
+    pub fn with_max_reads_per_batch(mut self, max_reads: usize) -> FilterConfig {
+        self.max_reads_per_batch = max_reads.max(1);
+        self
+    }
+
+    /// Number of 32-bit words one encoded sequence of this read length occupies.
+    pub fn words_per_sequence(&self) -> usize {
+        self.read_len.div_ceil(BASES_PER_WORD)
+    }
+}
+
+/// Output of the system-configuration step (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Approximate per-filtration memory requirement in bytes (thread load).
+    pub thread_load_bytes: u64,
+    /// Maximum filtrations per kernel call for this device.
+    pub batch_size: usize,
+    /// Threads per block used for kernel launches.
+    pub threads_per_block: u32,
+}
+
+impl SystemConfig {
+    /// Derives the system configuration for a device and filter configuration.
+    pub fn configure(device: &DeviceSpec, config: &FilterConfig) -> SystemConfig {
+        let words = config.words_per_sequence() as u64;
+        let masks = 2 * config.threshold as u64 + 1;
+        // Per filtration: encoded read + encoded reference segment (unified memory
+        // input buffers), the intermediate masks in the thread's stack frame, the
+        // candidate index and the result/edit-distance slots.
+        let input_bytes = match config.encoding {
+            EncodingActor::Host => 2 * words * 4,
+            EncodingActor::Device => 2 * config.read_len as u64,
+        };
+        let stack_bytes = masks * words * 4;
+        let bookkeeping = 16;
+        let thread_load_bytes = input_bytes + stack_bytes + bookkeeping;
+
+        // Fill the free global memory, leaving half for the reference and result
+        // buffers that coexist with the batch, and cap at a sane maximum so a single
+        // batch never exceeds what one grid can reasonably cover.
+        let budget = device.free_global_memory() / 2;
+        let by_memory = (budget / thread_load_bytes.max(1)) as usize;
+        let batch_size = by_memory.clamp(1024, 64_000_000);
+
+        SystemConfig {
+            thread_load_bytes,
+            batch_size,
+            threads_per_block: device.max_threads_per_block,
+        }
+    }
+
+    /// Launch configuration for a batch of `pairs` filtrations.
+    pub fn launch_config(&self, device: &DeviceSpec, pairs: usize) -> LaunchConfig {
+        let pairs = pairs.min(self.batch_size).max(1);
+        LaunchConfig::for_work_items(device, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_per_sequence_matches_paper() {
+        assert_eq!(FilterConfig::new(100, 5).words_per_sequence(), 7);
+        assert_eq!(FilterConfig::new(150, 5).words_per_sequence(), 10);
+        assert_eq!(FilterConfig::new(250, 5).words_per_sequence(), 16);
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let config = FilterConfig::new(100, 4)
+            .with_encoding(EncodingActor::Host)
+            .with_max_reads_per_batch(5_000);
+        assert_eq!(config.encoding, EncodingActor::Host);
+        assert_eq!(config.max_reads_per_batch, 5_000);
+        assert_eq!(FilterConfig::new(100, 4).encoding, EncodingActor::Device);
+    }
+
+    #[test]
+    fn zero_batch_request_is_clamped() {
+        assert_eq!(
+            FilterConfig::new(100, 4)
+                .with_max_reads_per_batch(0)
+                .max_reads_per_batch,
+            1
+        );
+    }
+
+    #[test]
+    fn thread_load_grows_with_threshold_and_read_length() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let small = SystemConfig::configure(&device, &FilterConfig::new(100, 2));
+        let more_errors = SystemConfig::configure(&device, &FilterConfig::new(100, 10));
+        let longer = SystemConfig::configure(&device, &FilterConfig::new(250, 2));
+        assert!(more_errors.thread_load_bytes > small.thread_load_bytes);
+        assert!(longer.thread_load_bytes > small.thread_load_bytes);
+    }
+
+    #[test]
+    fn batch_size_shrinks_as_thread_load_grows() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let small = SystemConfig::configure(&device, &FilterConfig::new(100, 2));
+        let big = SystemConfig::configure(&device, &FilterConfig::new(250, 25));
+        assert!(big.batch_size < small.batch_size);
+        assert!(big.batch_size >= 1024);
+    }
+
+    #[test]
+    fn smaller_memory_device_gets_smaller_batches() {
+        let config = FilterConfig::new(100, 5);
+        let pascal = SystemConfig::configure(&DeviceSpec::gtx_1080_ti(), &config);
+        let kepler = SystemConfig::configure(&DeviceSpec::tesla_k20x(), &config);
+        assert!(kepler.batch_size < pascal.batch_size);
+    }
+
+    #[test]
+    fn host_encoding_reduces_input_bytes() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let host = SystemConfig::configure(
+            &device,
+            &FilterConfig::new(100, 5).with_encoding(EncodingActor::Host),
+        );
+        let dev = SystemConfig::configure(
+            &device,
+            &FilterConfig::new(100, 5).with_encoding(EncodingActor::Device),
+        );
+        assert!(host.thread_load_bytes < dev.thread_load_bytes);
+    }
+
+    #[test]
+    fn launch_config_never_exceeds_the_batch_size() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let sys = SystemConfig::configure(&device, &FilterConfig::new(100, 5));
+        let launch = sys.launch_config(&device, sys.batch_size * 10);
+        assert!(launch.total_threads() <= sys.batch_size + device.max_threads_per_block as usize);
+        let tiny = sys.launch_config(&device, 10);
+        assert_eq!(tiny.grid_blocks, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gk-core
+//!
+//! The GateKeeper-GPU *system*: everything the paper's Methods section (§3)
+//! describes around the filtering algorithm itself.
+//!
+//! * [`config`] — compile-time-style configuration (read length, error threshold,
+//!   encoding actor) and the system-configuration step of §3.1 that sizes batches
+//!   from the device's free global memory.
+//! * [`gpu`] — [`gpu::GateKeeperGpu`]: batched filtering on the simulated device
+//!   (unified-memory buffers, memAdvise + prefetch streams, one filtration per
+//!   thread, kernel/filter time split, host- or device-side encoding).
+//! * [`multi_gpu`] — [`multi_gpu::MultiGpuGateKeeper`]: equal-share batch splitting
+//!   across several devices with the paper's timing conventions.
+//! * [`cpu`] — [`cpu::GateKeeperCpu`]: the multicore CPU baseline used in the
+//!   throughput comparison (Table 2), measured in real wall-clock time.
+//! * [`timing`] — timing breakdowns and the "billions of filtrations in 40 minutes"
+//!   throughput metric used throughout §5.2.
+//!
+//! The filtering *algorithm* (masks, amendment, boundary fix) lives in
+//! `gk-filters`; this crate wires it into the execution substrate from `gk-gpusim`.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod gpu;
+pub mod multi_gpu;
+pub mod timing;
+
+pub use config::{EncodingActor, FilterConfig, SystemConfig};
+pub use cpu::{CpuFilterRun, GateKeeperCpu};
+pub use gpu::{FilterRun, GateKeeperGpu};
+pub use multi_gpu::MultiGpuGateKeeper;
+pub use timing::{billions_in_40_minutes, pairs_per_second, TimingBreakdown};

@@ -1,0 +1,250 @@
+//! Multi-GPU GateKeeper: equal-share batch splitting across several devices.
+//!
+//! Setup 1 of the paper attaches eight GTX 1080 Ti boards to one host; the
+//! multi-GPU experiments (Figure 8, Sup. Tables S.21–S.23) show kernel-time
+//! throughput scaling almost linearly with the device count (especially in the
+//! host-encoded mode) while filter-time throughput grows more slowly because the
+//! host-side preparation and the shared PCIe complex do not scale.
+//!
+//! Timing conventions follow §3.1/§4.3: every device receives an equal share of the
+//! batch, the reported multi-GPU kernel time is the slowest device's kernel time,
+//! and the host-side costs (preparation, encoding) are paid once.
+
+use crate::config::FilterConfig;
+use crate::gpu::{FilterRun, GateKeeperGpu};
+use crate::timing::TimingBreakdown;
+use gk_gpusim::device::DeviceSpec;
+use gk_gpusim::memory::MemoryStats;
+use gk_gpusim::multi::MultiGpu;
+use gk_seq::pairs::PairSet;
+use serde::{Deserialize, Serialize};
+
+/// Result of a multi-GPU filtering run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiGpuRun {
+    /// Per-pair decisions in input order.
+    pub decisions: Vec<gk_filters::FilterDecision>,
+    /// Number of devices used.
+    pub devices: usize,
+    /// Multi-GPU kernel time: the slowest device's summed kernel time.
+    pub kernel_seconds: f64,
+    /// Host-observed filter time for the whole run.
+    pub filter_seconds: f64,
+    /// Per-device filter runs (for detailed reporting).
+    pub per_device: Vec<FilterRun>,
+}
+
+impl MultiGpuRun {
+    /// Number of accepted pairs.
+    pub fn accepted(&self) -> usize {
+        self.decisions.iter().filter(|d| d.accepted).count()
+    }
+
+    /// Combined unified-memory statistics across devices.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut total = MemoryStats::default();
+        for run in &self.per_device {
+            total.bytes_to_device += run.memory_stats.bytes_to_device;
+            total.bytes_to_host += run.memory_stats.bytes_to_host;
+            total.page_faults += run.memory_stats.page_faults;
+            total.prefetched_pages += run.memory_stats.prefetched_pages;
+            total.transfer_seconds += run.memory_stats.transfer_seconds;
+        }
+        total
+    }
+}
+
+/// GateKeeper-GPU spread over several identical devices.
+#[derive(Debug, Clone)]
+pub struct MultiGpuGateKeeper {
+    context: MultiGpu,
+    config: FilterConfig,
+}
+
+impl MultiGpuGateKeeper {
+    /// Creates a multi-GPU filter over `device_count` copies of `device`.
+    pub fn new(device: DeviceSpec, device_count: usize, config: FilterConfig) -> MultiGpuGateKeeper {
+        MultiGpuGateKeeper {
+            context: MultiGpu::homogeneous(device, device_count),
+            config,
+        }
+    }
+
+    /// Number of devices in the context.
+    pub fn device_count(&self) -> usize {
+        self.context.device_count()
+    }
+
+    /// The filter configuration.
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// Filters a pair set across all devices.
+    pub fn filter_set(&self, pairs: &PairSet) -> MultiGpuRun {
+        let ranges = self.context.split_work(pairs.len());
+
+        // Each device filters its share. The shares are independent, so they are
+        // processed sequentially here while the timing combines them as if they ran
+        // concurrently (which they do on real hardware).
+        let mut per_device = Vec::with_capacity(ranges.len());
+        let mut decisions = vec![gk_filters::FilterDecision::accept(0); pairs.len()];
+        for (device_spec, &(start, end)) in self.context.devices().iter().zip(ranges.iter()) {
+            let share = PairSet::new(
+                format!("{} [{}..{})", pairs.name, start, end),
+                pairs.read_len,
+                pairs.pairs[start..end].to_vec(),
+            );
+            let gpu = GateKeeperGpu::new(device_spec.clone(), self.config);
+            let run = gpu.filter_set(&share);
+            for (offset, decision) in run.decisions.iter().enumerate() {
+                decisions[start + offset] = *decision;
+            }
+            per_device.push(run);
+        }
+
+        // Kernel time: slowest device (§4.3). Filter time: the host pays preparation
+        // and encoding once (they are not duplicated per device on real hardware —
+        // the host fills one buffer per device from the same pass), then the devices
+        // transfer and compute concurrently, so the device-side part is the slowest
+        // device's transfer + kernel + readback.
+        let kernel_seconds = per_device
+            .iter()
+            .map(|r| r.kernel_seconds())
+            .fold(0.0, f64::max);
+        let host_once: f64 = per_device
+            .iter()
+            .map(|r| r.timing.host_prep_seconds + r.timing.encode_seconds)
+            .sum();
+        let device_side = per_device
+            .iter()
+            .map(|r| r.timing.transfer_seconds + r.timing.kernel_seconds + r.timing.readback_seconds)
+            .fold(0.0, f64::max);
+        let filter_seconds = host_once + device_side;
+
+        MultiGpuRun {
+            decisions,
+            devices: self.context.device_count(),
+            kernel_seconds,
+            filter_seconds,
+            per_device,
+        }
+    }
+}
+
+/// Convenience container mirroring the per-device timing rows of Tables S.21–S.23.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of devices.
+    pub devices: usize,
+    /// Kernel-time throughput in millions of filtrations per second.
+    pub kernel_mps: f64,
+    /// Filter-time throughput in millions of filtrations per second.
+    pub filter_mps: f64,
+}
+
+impl ScalingPoint {
+    /// Builds a scaling point from a run over `pairs` pairs.
+    pub fn from_run(run: &MultiGpuRun, pairs: usize) -> ScalingPoint {
+        ScalingPoint {
+            devices: run.devices,
+            kernel_mps: crate::timing::pairs_per_second(pairs, run.kernel_seconds) / 1e6,
+            filter_mps: crate::timing::pairs_per_second(pairs, run.filter_seconds) / 1e6,
+        }
+    }
+
+    /// Accumulated timing breakdown across devices (for reporting).
+    pub fn timing_of(run: &MultiGpuRun) -> TimingBreakdown {
+        let mut total = TimingBreakdown::default();
+        for device_run in &run.per_device {
+            total.accumulate(&device_run.timing);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncodingActor;
+    use gk_seq::datasets::DatasetProfile;
+
+    fn pairs(count: usize) -> PairSet {
+        DatasetProfile::set3().generate(count, 321)
+    }
+
+    fn multi(devices: usize, encoding: EncodingActor) -> MultiGpuGateKeeper {
+        MultiGpuGateKeeper::new(
+            DeviceSpec::gtx_1080_ti(),
+            devices,
+            FilterConfig::new(100, 2).with_encoding(encoding),
+        )
+    }
+
+    #[test]
+    fn multi_gpu_decisions_match_single_gpu() {
+        let set = pairs(2_000);
+        let single = multi(1, EncodingActor::Device).filter_set(&set);
+        let eight = multi(8, EncodingActor::Device).filter_set(&set);
+        assert_eq!(single.decisions, eight.decisions);
+        assert_eq!(eight.devices, 8);
+        assert_eq!(eight.per_device.len(), 8);
+    }
+
+    #[test]
+    fn kernel_time_improves_with_more_devices() {
+        let set = pairs(4_000);
+        let one = multi(1, EncodingActor::Host).filter_set(&set);
+        let four = multi(4, EncodingActor::Host).filter_set(&set);
+        let eight = multi(8, EncodingActor::Host).filter_set(&set);
+        assert!(four.kernel_seconds < one.kernel_seconds);
+        assert!(eight.kernel_seconds < four.kernel_seconds);
+    }
+
+    #[test]
+    fn filter_time_scales_sublinearly_because_of_host_costs() {
+        let set = pairs(4_000);
+        let one = multi(1, EncodingActor::Host).filter_set(&set);
+        let eight = multi(8, EncodingActor::Host).filter_set(&set);
+        let kernel_speedup = one.kernel_seconds / eight.kernel_seconds;
+        let filter_speedup = one.filter_seconds / eight.filter_seconds;
+        assert!(filter_speedup >= 1.0);
+        assert!(
+            filter_speedup < kernel_speedup,
+            "filter speedup {filter_speedup} should trail kernel speedup {kernel_speedup}"
+        );
+    }
+
+    #[test]
+    fn scaling_points_report_increasing_kernel_throughput() {
+        let set = pairs(3_000);
+        let mut last = 0.0;
+        for devices in [1usize, 2, 4] {
+            let run = multi(devices, EncodingActor::Host).filter_set(&set);
+            let point = ScalingPoint::from_run(&run, set.len());
+            assert_eq!(point.devices, devices);
+            assert!(point.kernel_mps > last, "devices = {devices}");
+            last = point.kernel_mps;
+        }
+    }
+
+    #[test]
+    fn accepted_counts_are_consistent() {
+        let set = pairs(1_000);
+        let run = multi(3, EncodingActor::Device).filter_set(&set);
+        assert_eq!(
+            run.accepted(),
+            run.decisions.iter().filter(|d| d.accepted).count()
+        );
+        let combined = run.memory_stats();
+        assert!(combined.bytes_to_device > 0);
+    }
+
+    #[test]
+    fn timing_accumulation_covers_all_devices() {
+        let set = pairs(1_000);
+        let run = multi(2, EncodingActor::Device).filter_set(&set);
+        let total = ScalingPoint::timing_of(&run);
+        assert!(total.kernel_seconds >= run.kernel_seconds);
+    }
+}

@@ -1,0 +1,119 @@
+//! Timing breakdowns and throughput metrics.
+//!
+//! The paper reports two time measurements for every filtering run (§4.3):
+//!
+//! * **kernel time** — time spent on the device only, summed over the batched
+//!   kernel calls (CUDA Event API);
+//! * **filter time** — total time from the host's perspective, including host-side
+//!   preparation, encoding and data transfer.
+//!
+//! Throughput is expressed as "billions of filtrations in 40 minutes" (Tables 2,
+//! S.13–S.15) or "millions of filtrations per second" (Figures 6–8).
+
+use serde::{Deserialize, Serialize};
+
+/// Time breakdown of one filtering run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Host-side buffer preparation (batching reads and candidate indices).
+    pub host_prep_seconds: f64,
+    /// 2-bit encoding time (host encoding only; zero when the device encodes).
+    pub encode_seconds: f64,
+    /// Host↔device data movement (unified-memory migrations and prefetches).
+    pub transfer_seconds: f64,
+    /// Device execution time, summed over batched kernel calls.
+    pub kernel_seconds: f64,
+    /// Result read-back time.
+    pub readback_seconds: f64,
+}
+
+impl TimingBreakdown {
+    /// Filter time: everything the host observes (§4.3: "Filter time represents the
+    /// total time spent for filtering, including host operations such as data
+    /// transfer and encoding the sequences").
+    pub fn filter_seconds(&self) -> f64 {
+        self.host_prep_seconds
+            + self.encode_seconds
+            + self.transfer_seconds
+            + self.kernel_seconds
+            + self.readback_seconds
+    }
+
+    /// Adds another breakdown (e.g. accumulating per-batch times).
+    pub fn accumulate(&mut self, other: &TimingBreakdown) {
+        self.host_prep_seconds += other.host_prep_seconds;
+        self.encode_seconds += other.encode_seconds;
+        self.transfer_seconds += other.transfer_seconds;
+        self.kernel_seconds += other.kernel_seconds;
+        self.readback_seconds += other.readback_seconds;
+    }
+}
+
+/// Filtrations per second given a pair count and elapsed seconds.
+pub fn pairs_per_second(pairs: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        pairs as f64 / seconds
+    }
+}
+
+/// The paper's headline throughput unit: billions of filtrations completed in
+/// 40 minutes at the measured rate (§4.3).
+pub fn billions_in_40_minutes(pairs: usize, seconds: f64) -> f64 {
+    pairs_per_second(pairs, seconds) * 40.0 * 60.0 / 1e9
+}
+
+/// Millions of filtrations per second (the unit of Figures 6–8).
+pub fn millions_per_second(pairs: usize, seconds: f64) -> f64 {
+    pairs_per_second(pairs, seconds) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_time_is_the_sum_of_components() {
+        let t = TimingBreakdown {
+            host_prep_seconds: 1.0,
+            encode_seconds: 2.0,
+            transfer_seconds: 3.0,
+            kernel_seconds: 4.0,
+            readback_seconds: 0.5,
+        };
+        assert!((t.filter_seconds() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulate_adds_componentwise() {
+        let mut a = TimingBreakdown {
+            kernel_seconds: 1.0,
+            ..Default::default()
+        };
+        let b = TimingBreakdown {
+            kernel_seconds: 2.0,
+            encode_seconds: 0.5,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.kernel_seconds, 3.0);
+        assert_eq!(a.encode_seconds, 0.5);
+    }
+
+    #[test]
+    fn throughput_units_are_consistent() {
+        // 30 M pairs in 0.29 s (paper's Setup 1 kernel time at e = 2) is ~248 B/40 min.
+        let b = billions_in_40_minutes(30_000_000, 0.29);
+        assert!(b > 240.0 && b < 260.0, "b = {b}");
+        let m = millions_per_second(30_000_000, 0.29);
+        assert!(m > 100.0 && m < 110.0, "m = {m}");
+    }
+
+    #[test]
+    fn zero_elapsed_time_gives_zero_throughput() {
+        assert_eq!(pairs_per_second(100, 0.0), 0.0);
+        assert_eq!(billions_in_40_minutes(100, 0.0), 0.0);
+        assert_eq!(millions_per_second(100, -1.0), 0.0);
+    }
+}

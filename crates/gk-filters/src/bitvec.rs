@@ -1,0 +1,387 @@
+//! Per-base bitmasks — the Hamming / shifted / amended masks of GateKeeper.
+//!
+//! After the 2-bit XOR between read and reference, GateKeeper OR-combines the two
+//! bits of every base "to simplify the differences on individual bitvectors and
+//! reduce resource usage" (§2.1). The result is a mask with **one bit per base**:
+//! `1` marks a mismatching base, `0` a matching one. [`BaseMask`] is that mask,
+//! together with the operations the filtering pipeline needs:
+//!
+//! * bitwise AND/OR across masks (the final `2e + 1`-way AND),
+//! * the *amendment* pass that turns short streaks of `0`s into `1`s so that
+//!   meaningless 1–2 base random matches cannot hide errors during the AND,
+//! * setting leading/trailing ranges to `1` (the GateKeeper-GPU boundary fix), and
+//! * the two edit-counting schemes (distinct 1-runs, as the SHD/GateKeeper
+//!   hardware effectively counts, or raw popcount for ablation).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A bitmask over base positions (bit `i` describes base `i`; LSB-first layout).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaseMask {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl BaseMask {
+    /// All-zero mask over `len` bases.
+    pub fn zeros(len: usize) -> BaseMask {
+        BaseMask {
+            bits: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// All-one mask over `len` bases.
+    pub fn ones(len: usize) -> BaseMask {
+        let mut mask = BaseMask::zeros(len);
+        for i in 0..mask.bits.len() {
+            mask.bits[i] = u64::MAX;
+        }
+        mask.clear_padding();
+        mask
+    }
+
+    /// Builds a mask from an iterator of booleans (`true` = 1).
+    pub fn from_bools(values: impl IntoIterator<Item = bool>) -> BaseMask {
+        let values: Vec<bool> = values.into_iter().collect();
+        let mut mask = BaseMask::zeros(values.len());
+        for (i, v) in values.iter().enumerate() {
+            if *v {
+                mask.set(i);
+            }
+        }
+        mask
+    }
+
+    /// Number of base positions covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mask covers no positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i` to 1.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.bits[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Sets every bit in `[start, end)` to 1 (clamped to the mask length).
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        let end = end.min(self.len);
+        for i in start..end {
+            self.set(i);
+        }
+    }
+
+    /// In-place AND with another mask of the same length.
+    pub fn and_assign(&mut self, other: &BaseMask) {
+        assert_eq!(self.len, other.len, "mask length mismatch in AND");
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR with another mask of the same length.
+    pub fn or_assign(&mut self, other: &BaseMask) {
+        assert_eq!(self.len, other.len, "mask length mismatch in OR");
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Number of 1 bits.
+    pub fn count_ones(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of maximal runs of consecutive 1 bits.
+    pub fn count_runs(&self) -> u32 {
+        let mut runs = 0u32;
+        let mut in_run = false;
+        for i in 0..self.len {
+            if self.get(i) {
+                if !in_run {
+                    runs += 1;
+                    in_run = true;
+                }
+            } else {
+                in_run = false;
+            }
+        }
+        runs
+    }
+
+    /// Windowed edit counting over the final bitvector: every maximal streak of 1s
+    /// of length `L` contributes `⌈L / window⌉` edits.
+    ///
+    /// This models the window/LUT error counting of the GateKeeper hardware (§2.1:
+    /// "the errors are counted by following a window approach with a look-up
+    /// table"). With `window = amendment length + 1` a cluster of `d` true edits
+    /// whose separating matches were flipped by the amendment pass produces a streak
+    /// of at most `window·d - 2` bits and is therefore never counted as more than
+    /// `d` edits — the property behind the paper's zero-false-reject observation —
+    /// while a fully mismatching pair still counts ~`len / window` edits and is
+    /// rejected. `window = 1` degenerates to a plain popcount.
+    pub fn count_edits_windowed(&self, window: usize) -> u32 {
+        let window = window.max(1);
+        let mut edits = 0u32;
+        let mut i = 0usize;
+        while i < self.len {
+            if self.get(i) {
+                let start = i;
+                while i < self.len && self.get(i) {
+                    i += 1;
+                }
+                let run = i - start;
+                edits += run.div_ceil(window) as u32;
+            } else {
+                i += 1;
+            }
+        }
+        edits
+    }
+
+    /// Amendment pass: flips every maximal run of `0`s of length at most
+    /// `max_run` that is flanked by `1`s on both sides (§2.1: "the bitvectors are
+    /// amended before AND to turn short streaks of 0s into 1s considering these 0s
+    /// are useless and do not represent an informative part").
+    pub fn amend_short_zero_runs(&mut self, max_run: usize) {
+        if self.len == 0 || max_run == 0 {
+            return;
+        }
+        let mut i = 0usize;
+        while i < self.len {
+            if !self.get(i) {
+                let start = i;
+                while i < self.len && !self.get(i) {
+                    i += 1;
+                }
+                let end = i; // [start, end) is a zero run
+                let flanked_left = start > 0;
+                let flanked_right = end < self.len;
+                if end - start <= max_run && flanked_left && flanked_right {
+                    for j in start..end {
+                        self.set(j);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Longest run of consecutive 0 bits within `[start, end)`; returns
+    /// `(run_start, run_len)` or `None` if every bit is 1.
+    pub fn longest_zero_run_in(&self, start: usize, end: usize) -> Option<(usize, usize)> {
+        let end = end.min(self.len);
+        let mut best: Option<(usize, usize)> = None;
+        let mut i = start;
+        while i < end {
+            if !self.get(i) {
+                let run_start = i;
+                while i < end && !self.get(i) {
+                    i += 1;
+                }
+                let run_len = i - run_start;
+                if best.map(|(_, l)| run_len > l).unwrap_or(true) {
+                    best = Some((run_start, run_len));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        best
+    }
+
+    /// Length of the run of consecutive 0 bits starting exactly at `pos`.
+    pub fn zero_run_length_at(&self, pos: usize) -> usize {
+        let mut i = pos;
+        while i < self.len && !self.get(i) {
+            i += 1;
+        }
+        i - pos
+    }
+
+    fn clear_padding(&mut self) {
+        let used = self.len % WORD_BITS;
+        if used != 0 {
+            if let Some(last) = self.bits.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.bits.clear();
+        }
+    }
+}
+
+impl fmt::Debug for BaseMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rendered: String = (0..self.len.min(128))
+            .map(|i| if self.get(i) { '1' } else { '0' })
+            .collect();
+        write!(f, "BaseMask(len={}, {})", self.len, rendered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones_have_expected_counts() {
+        assert_eq!(BaseMask::zeros(100).count_ones(), 0);
+        assert_eq!(BaseMask::ones(100).count_ones(), 100);
+        assert_eq!(BaseMask::ones(64).count_ones(), 64);
+        assert_eq!(BaseMask::ones(65).count_ones(), 65);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut m = BaseMask::zeros(70);
+        m.set(0);
+        m.set(63);
+        m.set(64);
+        m.set(69);
+        assert!(m.get(0) && m.get(63) && m.get(64) && m.get(69));
+        assert!(!m.get(1) && !m.get(65));
+        m.clear(64);
+        assert!(!m.get(64));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_bools_round_trips() {
+        let pattern = [true, false, true, true, false, false, true];
+        let m = BaseMask::from_bools(pattern);
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(m.get(i), b);
+        }
+        assert_eq!(m.count_ones(), 4);
+    }
+
+    #[test]
+    fn and_or_assign() {
+        let a = BaseMask::from_bools([true, true, false, false]);
+        let b = BaseMask::from_bools([true, false, true, false]);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and, BaseMask::from_bools([true, false, false, false]));
+        let mut or = a.clone();
+        or.or_assign(&b);
+        assert_eq!(or, BaseMask::from_bools([true, true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_with_mismatched_length_panics() {
+        let mut a = BaseMask::zeros(4);
+        a.and_assign(&BaseMask::zeros(5));
+    }
+
+    #[test]
+    fn count_runs_counts_maximal_streaks() {
+        let m = BaseMask::from_bools([true, true, false, true, false, false, true, true, true]);
+        assert_eq!(m.count_runs(), 3);
+        assert_eq!(BaseMask::zeros(10).count_runs(), 0);
+        assert_eq!(BaseMask::ones(10).count_runs(), 1);
+    }
+
+    #[test]
+    fn windowed_counting_rounds_runs_up() {
+        let m = BaseMask::from_bools([true, true, false, true, false, false, true, true, true]);
+        // Runs of length 2, 1, 3 with window 3 → 1 + 1 + 1.
+        assert_eq!(m.count_edits_windowed(3), 3);
+        // With window 1 it is a plain popcount.
+        assert_eq!(m.count_edits_windowed(1), m.count_ones());
+        // A long streak is charged proportionally.
+        assert_eq!(BaseMask::ones(100).count_edits_windowed(3), 34);
+        assert_eq!(BaseMask::zeros(50).count_edits_windowed(3), 0);
+    }
+
+    #[test]
+    fn windowed_counting_with_zero_window_is_popcount() {
+        let m = BaseMask::from_bools([true, false, true, true]);
+        assert_eq!(m.count_edits_windowed(0), m.count_ones());
+    }
+
+    #[test]
+    fn amendment_flips_short_flanked_zero_runs() {
+        // 1 0 1  and  1 0 0 1 are flipped; 1 0 0 0 1 is not (run of 3 > 2).
+        let mut m = BaseMask::from_bools([true, false, true, false, false, true, false, false, false, true]);
+        m.amend_short_zero_runs(2);
+        assert_eq!(
+            m,
+            BaseMask::from_bools([true, true, true, true, true, true, false, false, false, true])
+        );
+    }
+
+    #[test]
+    fn amendment_does_not_touch_unflanked_runs() {
+        // Leading and trailing zero runs are not flanked on both sides.
+        let mut m = BaseMask::from_bools([false, true, false, true, false]);
+        m.amend_short_zero_runs(2);
+        assert_eq!(m, BaseMask::from_bools([false, true, true, true, false]));
+    }
+
+    #[test]
+    fn amendment_zero_window_is_a_noop() {
+        let mut m = BaseMask::from_bools([true, false, true]);
+        let before = m.clone();
+        m.amend_short_zero_runs(0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn set_range_clamps_to_len() {
+        let mut m = BaseMask::zeros(10);
+        m.set_range(7, 20);
+        assert_eq!(m.count_ones(), 3);
+        assert!(m.get(7) && m.get(9));
+    }
+
+    #[test]
+    fn longest_zero_run_finds_the_longest() {
+        let m = BaseMask::from_bools([true, false, false, true, false, false, false, true]);
+        assert_eq!(m.longest_zero_run_in(0, 8), Some((4, 3)));
+        assert_eq!(m.longest_zero_run_in(0, 4), Some((1, 2)));
+        assert_eq!(BaseMask::ones(5).longest_zero_run_in(0, 5), None);
+    }
+
+    #[test]
+    fn zero_run_length_at_position() {
+        let m = BaseMask::from_bools([false, false, true, false]);
+        assert_eq!(m.zero_run_length_at(0), 2);
+        assert_eq!(m.zero_run_length_at(2), 0);
+        assert_eq!(m.zero_run_length_at(3), 1);
+    }
+
+    #[test]
+    fn padding_bits_never_leak_into_counts() {
+        let m = BaseMask::ones(100);
+        assert_eq!(m.count_ones(), 100);
+        assert_eq!(m.count_runs(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # gk-filters
+//!
+//! Pre-alignment filters: the improved GateKeeper algorithm of GateKeeper-GPU and
+//! every baseline the paper compares against.
+//!
+//! A *pre-alignment filter* answers one question per (read, candidate reference
+//! segment) pair: could this pair possibly align within `e` edits? Pairs that
+//! cannot are rejected before the expensive dynamic-programming verification step.
+//! A useful filter must never reject a pair that would verify (no false rejects)
+//! and should reject as many hopeless pairs as possible (few false accepts).
+//!
+//! Implemented filters (all behind [`PreAlignmentFilter`]):
+//!
+//! | Filter | Paper | Notes |
+//! |---|---|---|
+//! | [`GateKeeperGpuFilter`] | this paper | GateKeeper with the leading/trailing-bit fix of §3.4 |
+//! | [`GateKeeperFpgaFilter`] | Alser et al. 2017 | original GateKeeper semantics (no boundary fix) |
+//! | [`ShdFilter`] | Xin et al. 2015 | Shifted Hamming Distance; same mask pipeline as GateKeeper |
+//! | [`MagnetFilter`] | Alser et al. 2017 (MAGNET) | greedy extraction of longest zero segments |
+//! | [`ShoujiFilter`] | Alser et al. 2019 | sliding-window neighborhood-map filter |
+//! | [`SneakySnakeFilter`] | Alser et al. 2020 | single-net-routing greedy, exact lower bound |
+//!
+//! The [`accuracy`] module evaluates any filter against the Edlib-equivalent ground
+//! truth from `gk-align`, producing the false-accept / false-reject / true-reject
+//! counts reported in Figure 4, Figure 5 and Supplementary Tables S.2–S.12.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod bitvec;
+pub mod gatekeeper;
+pub mod magnet;
+pub mod shouji;
+pub mod sneaky_snake;
+pub mod traits;
+pub mod words;
+
+pub use accuracy::{evaluate_filter, evaluate_with_truth, ground_truth_distances, AccuracyReport};
+pub use bitvec::BaseMask;
+pub use gatekeeper::{
+    EditCounting, GateKeeperConfig, GateKeeperFpgaFilter, GateKeeperGpuFilter, ShdFilter,
+};
+pub use magnet::MagnetFilter;
+pub use shouji::ShoujiFilter;
+pub use sneaky_snake::SneakySnakeFilter;
+pub use traits::{FilterDecision, PreAlignmentFilter};

@@ -1,0 +1,241 @@
+//! Shouji pre-alignment filter (Alser et al. 2019).
+//!
+//! Shouji (§2.3) builds a *neighborhood map*: a `(2e + 1) × n` binary matrix whose
+//! rows are the diagonals of the edit band and whose entry is `0` where the read
+//! and reference bases on that diagonal agree. It then slides a small window (four
+//! columns) over the map; inside each window it picks the diagonal segment with the
+//! most matches and copies it into the *Shouji bit-vector*, keeping for every
+//! column the best (most-matching) evidence seen so far. The number of `1`s left in
+//! the Shouji bit-vector is the edit estimate; pairs whose estimate exceeds the
+//! threshold are rejected.
+//!
+//! Accuracy sits between GateKeeper and MAGNET/SneakySnake, matching the ordering
+//! of Figure 5 / Tables S.7–S.12 in the paper: better than GateKeeper-FPGA and SHD
+//! everywhere, slightly better than GateKeeper-GPU at 150/250 bp, well behind
+//! SneakySnake.
+
+use crate::traits::{FilterDecision, PreAlignmentFilter};
+
+/// Width of the sliding search window, as in the Shouji paper.
+const WINDOW: usize = 4;
+
+/// The Shouji pre-alignment filter.
+#[derive(Debug, Clone)]
+pub struct ShoujiFilter {
+    threshold: u32,
+}
+
+impl ShoujiFilter {
+    /// Creates a Shouji filter for error threshold `e`.
+    pub fn new(threshold: u32) -> ShoujiFilter {
+        ShoujiFilter { threshold }
+    }
+
+    /// Neighborhood-map entry for column `col` and diagonal `diag`: `false` (0)
+    /// when the bases agree.
+    #[inline]
+    fn mismatch(read: &[u8], reference: &[u8], col: usize, diag: isize) -> bool {
+        let t = col as isize + diag;
+        if t < 0 || t as usize >= reference.len() {
+            return true;
+        }
+        read[col] != reference[t as usize]
+    }
+
+    /// Builds the Shouji bit-vector and returns the number of 1s in it.
+    ///
+    /// The windows are non-overlapping: each four-column window independently picks
+    /// the diagonal segment with the most matches and copies its bits into the
+    /// Shouji bit-vector. (The original Shouji additionally searches overlapping
+    /// window placements to stitch segments that straddle a window border; the
+    /// non-overlapping approximation keeps the qualitative accuracy ordering of the
+    /// paper — tighter than GateKeeper, looser than SneakySnake — at the cost of a
+    /// rare over-estimate around indel junctions, noted in DESIGN.md.)
+    fn estimate_edits(read: &[u8], reference: &[u8], e: u32) -> u32 {
+        let len = read.len().min(reference.len());
+        if len == 0 {
+            return 0;
+        }
+        let e = e as isize;
+        let mut edits = 0u32;
+
+        let mut col = 0usize;
+        while col < len {
+            let end = (col + WINDOW).min(len);
+            // Find the diagonal whose segment over [col, end) has the most matches,
+            // i.e. the fewest 1s to contribute to the Shouji bit-vector.
+            let mut best_mismatches = (end - col) as u32;
+            for diag in -e..=e {
+                let mismatches = (col..end)
+                    .filter(|&c| Self::mismatch(read, reference, c, diag))
+                    .count() as u32;
+                if mismatches < best_mismatches {
+                    best_mismatches = mismatches;
+                    if best_mismatches == 0 {
+                        break;
+                    }
+                }
+            }
+            edits += best_mismatches;
+            col = end;
+        }
+
+        edits
+    }
+}
+
+impl PreAlignmentFilter for ShoujiFilter {
+    fn name(&self) -> &str {
+        "Shouji"
+    }
+
+    fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision {
+        let edits = Self::estimate_edits(read, reference, self.threshold);
+        if edits <= self.threshold {
+            FilterDecision::accept(edits)
+        } else {
+            FilterDecision::reject(edits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gatekeeper::GateKeeperFpgaFilter;
+    use gk_align::edit_distance;
+    use gk_seq::simulate::mutate_with_edits;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_seq(len: usize, rng: &mut StdRng) -> Vec<u8> {
+        (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    }
+
+    #[test]
+    fn exact_match_is_accepted() {
+        let seq: Vec<u8> = (0..100).map(|i| b"ACGT"[i % 4]).collect();
+        let d = ShoujiFilter::new(0).filter_pair(&seq, &seq);
+        assert!(d.accepted);
+        assert_eq!(d.estimated_edits, 0);
+    }
+
+    #[test]
+    fn well_separated_substitutions_are_accepted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let reference = random_seq(120, &mut rng);
+        let mut read = reference.clone();
+        for &pos in &[15usize, 60, 100] {
+            read[pos] = match read[pos] {
+                b'A' => b'G',
+                _ => b'A',
+            };
+        }
+        let d = ShoujiFilter::new(3).filter_pair(&read, &reference);
+        assert!(d.accepted);
+        assert!(d.estimated_edits <= 3);
+    }
+
+    #[test]
+    fn indel_within_threshold_is_accepted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let reference = random_seq(100, &mut rng);
+        let mut read = reference.clone();
+        read.remove(50);
+        read.push(b'A');
+        let d = ShoujiFilter::new(3).filter_pair(&read, &reference);
+        assert!(d.accepted);
+    }
+
+    #[test]
+    fn dissimilar_pair_is_rejected() {
+        let a = vec![b'A'; 100];
+        let b = vec![b'T'; 100];
+        assert!(!ShoujiFilter::new(8).filter_pair(&a, &b).accepted);
+    }
+
+    #[test]
+    fn no_false_rejects_on_substitution_only_pairs() {
+        // With substitution-only edits the best diagonal of every window is the true
+        // diagonal, so the estimate equals the true edit distance and can never
+        // falsely reject. (Indel junctions can add a small over-estimate in this
+        // non-overlapping-window approximation; see the module documentation.)
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let reference = random_seq(100, &mut rng);
+            let e = rng.gen_range(1u32..=10);
+            let read = mutate_with_edits(&reference, e as usize, 0.0, &mut rng);
+            if edit_distance(&read, &reference) <= e {
+                let d = ShoujiFilter::new(e).filter_pair(&read, &reference);
+                assert!(d.accepted, "false reject at e = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn false_rejects_are_rare_on_indel_pairs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut eligible = 0u32;
+        let mut false_rejects = 0u32;
+        for _ in 0..300 {
+            let reference = random_seq(100, &mut rng);
+            let e = rng.gen_range(2u32..=10);
+            let read = mutate_with_edits(&reference, e as usize, 0.4, &mut rng);
+            if edit_distance(&read, &reference) <= e {
+                eligible += 1;
+                if !ShoujiFilter::new(e).filter_pair(&read, &reference).accepted {
+                    false_rejects += 1;
+                }
+            }
+        }
+        assert!(eligible > 50, "not enough eligible pairs ({eligible})");
+        assert!(
+            (false_rejects as f64) < 0.05 * eligible as f64,
+            "{false_rejects} false rejects out of {eligible}"
+        );
+    }
+
+    #[test]
+    fn accepts_no_more_than_gatekeeper_fpga_on_divergent_population() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = 5u32;
+        let shouji = ShoujiFilter::new(e);
+        let fpga = GateKeeperFpgaFilter::new(e);
+        let mut shouji_accepts = 0;
+        let mut fpga_accepts = 0;
+        for _ in 0..300 {
+            let reference = random_seq(100, &mut rng);
+            let edits = rng.gen_range(6usize..20);
+            let read = mutate_with_edits(&reference, edits, 0.3, &mut rng);
+            if edit_distance(&read, &reference) <= e {
+                continue;
+            }
+            if shouji.filter_pair(&read, &reference).accepted {
+                shouji_accepts += 1;
+            }
+            if fpga.filter_pair(&read, &reference).accepted {
+                fpga_accepts += 1;
+            }
+        }
+        assert!(
+            shouji_accepts <= fpga_accepts,
+            "Shouji accepted {shouji_accepts}, GateKeeper-FPGA accepted {fpga_accepts}"
+        );
+    }
+
+    #[test]
+    fn empty_pair_is_accepted() {
+        assert!(ShoujiFilter::new(2).filter_pair(b"", b"").accepted);
+    }
+
+    #[test]
+    fn metadata() {
+        let f = ShoujiFilter::new(6);
+        assert_eq!(f.name(), "Shouji");
+        assert_eq!(f.threshold(), 6);
+    }
+}

@@ -1,0 +1,208 @@
+//! SneakySnake pre-alignment filter (Alser et al. 2020).
+//!
+//! SneakySnake reformulates approximate string matching as a single-net routing
+//! problem (§2.3): build a "chip maze" of `2e + 1` rows (one per diagonal within
+//! the edit band) and `n` columns, where a cell is an *obstacle* if the two bases
+//! on that diagonal/column disagree. A signal (the snake) must travel from the
+//! first to the last column; it may switch rows freely, and passing through an
+//! obstacle costs one edit. The greedy solution — repeatedly take the longest
+//! obstacle-free horizontal segment available from the current column, then pay one
+//! edit to cross into the next column — yields a lower bound on the true edit
+//! distance, which is why SneakySnake produces no false rejects and the fewest
+//! false accepts of all the filters compared in the paper.
+
+use crate::traits::{FilterDecision, PreAlignmentFilter};
+
+/// The SneakySnake pre-alignment filter.
+#[derive(Debug, Clone)]
+pub struct SneakySnakeFilter {
+    threshold: u32,
+}
+
+impl SneakySnakeFilter {
+    /// Creates a SneakySnake filter for error threshold `e`.
+    pub fn new(threshold: u32) -> SneakySnakeFilter {
+        SneakySnakeFilter { threshold }
+    }
+
+    /// Length of the obstacle-free run starting at column `col` on diagonal `diag`
+    /// (`diag` is the reference offset relative to the read, in `[-e, e]`).
+    fn free_run(read: &[u8], reference: &[u8], diag: isize, col: usize, max_len: usize) -> usize {
+        let mut len = 0usize;
+        while col + len < max_len {
+            let r_idx = col + len;
+            let t_idx = r_idx as isize + diag;
+            if t_idx < 0 || t_idx as usize >= reference.len() {
+                break;
+            }
+            if read[r_idx] != reference[t_idx as usize] {
+                break;
+            }
+            len += 1;
+        }
+        len
+    }
+
+    /// The greedy snake traversal: returns the number of edits (obstacles crossed).
+    fn count_obstacles(read: &[u8], reference: &[u8], e: u32) -> u32 {
+        let len = read.len().min(reference.len());
+        if len == 0 {
+            return 0;
+        }
+        let e = e as isize;
+        let mut col = 0usize;
+        let mut edits = 0u32;
+        while col < len {
+            let mut best = 0usize;
+            for diag in -e..=e {
+                let run = Self::free_run(read, reference, diag, col, len);
+                if run > best {
+                    best = run;
+                }
+                if col + best >= len {
+                    break;
+                }
+            }
+            col += best;
+            if col < len {
+                // Crossing the obstacle in the next column costs one edit.
+                edits += 1;
+                col += 1;
+            }
+        }
+        edits
+    }
+}
+
+impl PreAlignmentFilter for SneakySnakeFilter {
+    fn name(&self) -> &str {
+        "SneakySnake"
+    }
+
+    fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision {
+        let edits = Self::count_obstacles(read, reference, self.threshold);
+        if edits <= self.threshold {
+            FilterDecision::accept(edits)
+        } else {
+            FilterDecision::reject(edits)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_align::edit_distance;
+    use gk_seq::simulate::mutate_with_edits;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_seq(len: usize, rng: &mut StdRng) -> Vec<u8> {
+        (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    }
+
+    #[test]
+    fn exact_match_has_zero_obstacles() {
+        let seq: Vec<u8> = (0..100).map(|i| b"ACGT"[i % 4]).collect();
+        let d = SneakySnakeFilter::new(0).filter_pair(&seq, &seq);
+        assert!(d.accepted);
+        assert_eq!(d.estimated_edits, 0);
+    }
+
+    #[test]
+    fn single_substitution_costs_one_edit() {
+        let a: Vec<u8> = (0..100).map(|i| b"ACGT"[i % 4]).collect();
+        let mut b = a.clone();
+        b[50] = if b[50] == b'A' { b'C' } else { b'A' };
+        let d = SneakySnakeFilter::new(2).filter_pair(&b, &a);
+        assert!(d.accepted);
+        assert_eq!(d.estimated_edits, 1);
+    }
+
+    #[test]
+    fn estimate_is_a_lower_bound_within_the_band() {
+        // Whenever the true edit distance fits inside the band (d ≤ e), the snake's
+        // obstacle count never exceeds it — exactly why SneakySnake has no false
+        // rejects. (Outside the band the count is meaningless but the pair would be
+        // rejected by verification anyway.)
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let reference = random_seq(100, &mut rng);
+            let edits = rng.gen_range(0usize..15);
+            let read = mutate_with_edits(&reference, edits, 0.3, &mut rng);
+            let e = rng.gen_range(0u32..=10);
+            let truth = edit_distance(&read, &reference);
+            if truth > e {
+                continue;
+            }
+            let estimate = SneakySnakeFilter::count_obstacles(&read, &reference, e);
+            assert!(
+                estimate <= truth,
+                "estimate {estimate} exceeds true distance {truth} (e = {e})"
+            );
+        }
+    }
+
+    #[test]
+    fn no_false_rejects() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let reference = random_seq(150, &mut rng);
+            let e = rng.gen_range(0u32..=15);
+            let read = mutate_with_edits(&reference, e as usize, 0.3, &mut rng);
+            if edit_distance(&read, &reference) <= e {
+                let d = SneakySnakeFilter::new(e).filter_pair(&read, &reference);
+                assert!(d.accepted, "false reject at e = {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn dissimilar_pair_is_rejected() {
+        let a = vec![b'A'; 100];
+        let b = vec![b'T'; 100];
+        assert!(!SneakySnakeFilter::new(9).filter_pair(&a, &b).accepted);
+    }
+
+    #[test]
+    fn accepts_fewer_pairs_than_gatekeeper_on_divergent_population() {
+        use crate::gatekeeper::GateKeeperGpuFilter;
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = 5u32;
+        let snake = SneakySnakeFilter::new(e);
+        let gk = GateKeeperGpuFilter::new(e);
+        let mut snake_accepts = 0;
+        let mut gk_accepts = 0;
+        for _ in 0..300 {
+            let reference = random_seq(100, &mut rng);
+            let edits = rng.gen_range(6usize..20);
+            let read = mutate_with_edits(&reference, edits, 0.3, &mut rng);
+            if edit_distance(&read, &reference) <= e {
+                continue;
+            }
+            if snake.filter_pair(&read, &reference).accepted {
+                snake_accepts += 1;
+            }
+            if gk.filter_pair(&read, &reference).accepted {
+                gk_accepts += 1;
+            }
+        }
+        assert!(snake_accepts <= gk_accepts);
+    }
+
+    #[test]
+    fn empty_pair_is_accepted() {
+        assert!(SneakySnakeFilter::new(0).filter_pair(b"", b"").accepted);
+    }
+
+    #[test]
+    fn metadata() {
+        let f = SneakySnakeFilter::new(3);
+        assert_eq!(f.name(), "SneakySnake");
+        assert_eq!(f.threshold(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! The common interface every pre-alignment filter implements.
+
+use gk_seq::pairs::SequencePair;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of filtering one (read, reference segment) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterDecision {
+    /// True if the pair passes the filter and should proceed to verification.
+    pub accepted: bool,
+    /// The filter's (approximate) edit-distance estimate. GateKeeper-GPU "does not
+    /// calculate but approximates the edit distance between pairs" (§3.4); the
+    /// estimate is written back alongside the accept/reject bit.
+    pub estimated_edits: u32,
+    /// True if the pair was passed through without filtration because it contains
+    /// an unknown base (`N`) — the *undefined pair* handling of §3.3.
+    pub undefined: bool,
+}
+
+impl FilterDecision {
+    /// An accept decision produced by actual filtration.
+    pub fn accept(estimated_edits: u32) -> FilterDecision {
+        FilterDecision {
+            accepted: true,
+            estimated_edits,
+            undefined: false,
+        }
+    }
+
+    /// A reject decision produced by actual filtration.
+    pub fn reject(estimated_edits: u32) -> FilterDecision {
+        FilterDecision {
+            accepted: false,
+            estimated_edits,
+            undefined: false,
+        }
+    }
+
+    /// The free pass given to a pair containing an unknown base call.
+    pub fn undefined_pass() -> FilterDecision {
+        FilterDecision {
+            accepted: true,
+            estimated_edits: 0,
+            undefined: true,
+        }
+    }
+}
+
+/// A pre-alignment filter: decides per pair whether expensive verification can be
+/// skipped. Implementations carry their error threshold.
+pub trait PreAlignmentFilter: Sync {
+    /// Human-readable filter name, as used in the paper's tables.
+    fn name(&self) -> &str;
+
+    /// The error threshold `e` this filter instance was configured with.
+    fn threshold(&self) -> u32;
+
+    /// Filters a single pair.
+    fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision;
+
+    /// Filters a batch of pairs in parallel. The default implementation fans the
+    /// pairs out with Rayon, which is also how the multicore GateKeeper-CPU
+    /// baseline of the paper is organised.
+    fn filter_batch(&self, pairs: &[SequencePair]) -> Vec<FilterDecision> {
+        pairs
+            .par_iter()
+            .map(|p| self.filter_pair(&p.read, &p.reference))
+            .collect()
+    }
+
+    /// Convenience: number of accepted pairs in a batch.
+    fn count_accepted(&self, pairs: &[SequencePair]) -> usize {
+        self.filter_batch(pairs)
+            .iter()
+            .filter(|d| d.accepted)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AcceptAll;
+    impl PreAlignmentFilter for AcceptAll {
+        fn name(&self) -> &str {
+            "accept-all"
+        }
+        fn threshold(&self) -> u32 {
+            0
+        }
+        fn filter_pair(&self, _read: &[u8], _reference: &[u8]) -> FilterDecision {
+            FilterDecision::accept(0)
+        }
+    }
+
+    struct RejectAll;
+    impl PreAlignmentFilter for RejectAll {
+        fn name(&self) -> &str {
+            "reject-all"
+        }
+        fn threshold(&self) -> u32 {
+            0
+        }
+        fn filter_pair(&self, _read: &[u8], _reference: &[u8]) -> FilterDecision {
+            FilterDecision::reject(99)
+        }
+    }
+
+    fn pairs(n: usize) -> Vec<SequencePair> {
+        (0..n)
+            .map(|i| SequencePair::new(vec![b"ACGT"[i % 4]; 8], b"ACGTACGT".to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn decision_constructors() {
+        assert!(FilterDecision::accept(3).accepted);
+        assert!(!FilterDecision::reject(9).accepted);
+        let undef = FilterDecision::undefined_pass();
+        assert!(undef.accepted && undef.undefined);
+    }
+
+    #[test]
+    fn default_batch_filtering_matches_per_pair() {
+        let filter = AcceptAll;
+        let batch = filter.filter_batch(&pairs(37));
+        assert_eq!(batch.len(), 37);
+        assert!(batch.iter().all(|d| d.accepted));
+        assert_eq!(filter.count_accepted(&pairs(37)), 37);
+    }
+
+    #[test]
+    fn count_accepted_with_reject_all_is_zero() {
+        assert_eq!(RejectAll.count_accepted(&pairs(10)), 0);
+    }
+}

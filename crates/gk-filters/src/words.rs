@@ -1,0 +1,210 @@
+//! Word-level operations on 2-bit packed sequences.
+//!
+//! The FPGA GateKeeper works on a single arbitrarily wide register (a 100 bp read
+//! is one 200-bit value). A GPU — and a CPU — only has machine words, so "an
+//! encoded read becomes an array of 7 words. Additionally, logical shift operations
+//! produce incorrect bits between array's elements. For correcting these bits, we
+//! apply carry-bit transfers" (§3.4). This module implements exactly those
+//! primitives on the `u32` word arrays produced by [`gk_seq::PackedSeq`]:
+//!
+//! * [`shift_right_bases`] / [`shift_left_bases`] — base-granular shifts of the
+//!   whole sequence with explicit carry transfer between adjacent words (one shift
+//!   and one carry per word per `k`, matching the 2e shift + 2e carry operation
+//!   count the paper states);
+//! * [`xor_to_base_mask`] — XOR of two packed sequences followed by the per-base
+//!   OR reduction, producing the Hamming-style [`BaseMask`].
+
+use crate::bitvec::BaseMask;
+use gk_seq::packed::{BASES_PER_WORD, BITS_PER_BASE};
+
+/// Shifts the packed sequence towards *higher* base positions by `bases`
+/// (position `i` moves to `i + bases`); vacated leading positions become `A` (00).
+///
+/// In the word array (sequence starts at the MSB of word 0) this is a logical right
+/// shift of the whole bit string by `2·bases` bits, with the bits shifted out of
+/// word `w` carried into word `w + 1`.
+pub fn shift_right_bases(words: &[u32], bases: usize) -> Vec<u32> {
+    let word_shift = bases / BASES_PER_WORD;
+    let bit_shift = (bases % BASES_PER_WORD) * BITS_PER_BASE;
+    let mut out = vec![0u32; words.len()];
+    for i in (0..words.len()).rev() {
+        let src = i as isize - word_shift as isize;
+        if src < 0 {
+            continue;
+        }
+        let src = src as usize;
+        let mut value = if bit_shift == 0 {
+            words[src]
+        } else {
+            words[src] >> bit_shift
+        };
+        // Carry the low bits of the previous word into the vacated high bits.
+        if bit_shift != 0 && src >= 1 {
+            value |= words[src - 1] << (32 - bit_shift);
+        }
+        out[i] = value;
+    }
+    out
+}
+
+/// Shifts the packed sequence towards *lower* base positions by `bases`
+/// (position `i` moves to `i - bases`); vacated trailing positions become `A` (00).
+pub fn shift_left_bases(words: &[u32], bases: usize) -> Vec<u32> {
+    let word_shift = bases / BASES_PER_WORD;
+    let bit_shift = (bases % BASES_PER_WORD) * BITS_PER_BASE;
+    let mut out = vec![0u32; words.len()];
+    for i in 0..words.len() {
+        let src = i + word_shift;
+        if src >= words.len() {
+            continue;
+        }
+        let mut value = if bit_shift == 0 {
+            words[src]
+        } else {
+            words[src] << bit_shift
+        };
+        // Carry the high bits of the next word into the vacated low bits.
+        if bit_shift != 0 && src + 1 < words.len() {
+            value |= words[src + 1] >> (32 - bit_shift);
+        }
+        out[i] = value;
+    }
+    out
+}
+
+/// XORs two packed word arrays and reduces each 2-bit base difference to a single
+/// mask bit (1 = mismatching base), truncated to `len` bases.
+pub fn xor_to_base_mask(a: &[u32], b: &[u32], len: usize) -> BaseMask {
+    let mut mask = BaseMask::zeros(len);
+    let words = len.div_ceil(BASES_PER_WORD);
+    for w in 0..words {
+        let xa = a.get(w).copied().unwrap_or(0);
+        let xb = b.get(w).copied().unwrap_or(0);
+        let diff = xa ^ xb;
+        if diff == 0 {
+            continue;
+        }
+        // OR the two bits of every base: bit pair (2s+1, 2s) → one per-base bit.
+        let hi = (diff >> 1) & 0x5555_5555;
+        let lo = diff & 0x5555_5555;
+        let per_base = hi | lo; // bit 2s set iff base s differs (counting from LSB)
+        let base_count = (len - w * BASES_PER_WORD).min(BASES_PER_WORD);
+        for slot in 0..base_count {
+            // Base `slot` of this word sits at bit pair starting at MSB.
+            let bit_index = (BASES_PER_WORD - 1 - slot) * BITS_PER_BASE;
+            if per_base & (1u32 << bit_index) != 0 {
+                mask.set(w * BASES_PER_WORD + slot);
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_seq::PackedSeq;
+
+    fn packed(seq: &[u8]) -> PackedSeq {
+        PackedSeq::from_ascii(seq)
+    }
+
+    /// Shifting the packed words right by `k` bases must equal packing the sequence
+    /// with `k` leading `A`s (and the tail truncated). Bits shifted into the word
+    /// padding beyond the sequence length are irrelevant (every consumer truncates
+    /// to `len` bases), so the comparison decodes the first `len` bases.
+    #[test]
+    fn shift_right_matches_reencoding() {
+        let seq = b"ACGTACGTACGTACGTTGCATGCATGCATGCAAACCGGTT"; // 40 bases, 3 words
+        let p = packed(seq);
+        for k in [0usize, 1, 3, 15, 16, 17, 20, 33] {
+            let shifted = shift_right_bases(p.words(), k);
+            let mut expected_seq = vec![b'A'; k.min(seq.len())];
+            expected_seq.extend_from_slice(&seq[..seq.len() - k.min(seq.len())]);
+            let decoded = PackedSeq::from_words(shifted, seq.len()).to_ascii();
+            assert_eq!(decoded, expected_seq, "k = {k}");
+        }
+    }
+
+    /// Shifting left by `k` bases must equal dropping the first `k` bases and
+    /// padding the tail with `A`s.
+    #[test]
+    fn shift_left_matches_reencoding() {
+        let seq = b"ACGTACGTACGTACGTTGCATGCATGCATGCAAACCGGTT";
+        let p = packed(seq);
+        for k in [0usize, 1, 3, 15, 16, 17, 20, 33] {
+            let shifted = shift_left_bases(p.words(), k);
+            let mut expected_seq = seq[k.min(seq.len())..].to_vec();
+            expected_seq.resize(seq.len(), b'A');
+            let expected = packed(&expected_seq);
+            assert_eq!(shifted, expected.words(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn shift_by_zero_is_identity() {
+        let p = packed(b"ACGTACGTACGTACGTACGT");
+        assert_eq!(shift_right_bases(p.words(), 0), p.words());
+        assert_eq!(shift_left_bases(p.words(), 0), p.words());
+    }
+
+    #[test]
+    fn shift_beyond_length_clears_everything() {
+        let p = packed(b"ACGTACGT");
+        let right = shift_right_bases(p.words(), 100);
+        let left = shift_left_bases(p.words(), 100);
+        assert!(right.iter().all(|&w| w == 0));
+        assert!(left.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn left_then_right_restores_middle() {
+        let seq = b"ACGTACGTACGTACGTTGCATGCATGCATGCA";
+        let p = packed(seq);
+        let k = 5;
+        let round = shift_right_bases(&shift_left_bases(p.words(), k), k);
+        // Positions k..len-? should match the original; the first k bases are A-padded.
+        let restored = PackedSeq::from_words(round, seq.len());
+        let restored_ascii = restored.to_ascii();
+        assert_eq!(&restored_ascii[k..seq.len() - k], &seq[k..seq.len() - k]);
+    }
+
+    #[test]
+    fn xor_mask_marks_exactly_the_mismatching_bases() {
+        let a = packed(b"ACGTACGTACGTACGTACGTA");
+        let b = packed(b"ACGTACGAACGTACGTACGTC");
+        let mask = xor_to_base_mask(a.words(), b.words(), 21);
+        let expected: Vec<bool> = (0..21).map(|i| i == 7 || i == 20).collect();
+        assert_eq!(mask, BaseMask::from_bools(expected));
+    }
+
+    #[test]
+    fn xor_mask_of_identical_sequences_is_zero() {
+        let a = packed(b"TTTTGGGGCCCCAAAATTTTGGGG");
+        let mask = xor_to_base_mask(a.words(), a.words(), 24);
+        assert_eq!(mask.count_ones(), 0);
+    }
+
+    #[test]
+    fn xor_mask_counts_match_hamming_distance() {
+        let a = packed(b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT");
+        let b = packed(b"ACGAACGTACGTACCTACGTACGTAAGTACGTACGTACGA");
+        let mask = xor_to_base_mask(a.words(), b.words(), 40);
+        assert_eq!(Some(mask.count_ones()), a.hamming_distance(&b));
+    }
+
+    #[test]
+    fn xor_mask_handles_word_boundary_mismatches() {
+        // Mismatches at positions 15, 16 (boundary between word 0 and 1) and 31, 32.
+        let mut seq_b = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT".to_vec();
+        for &pos in &[15usize, 16, 31, 32] {
+            seq_b[pos] = if seq_b[pos] == b'A' { b'C' } else { b'A' };
+        }
+        let a = packed(b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT");
+        let b = packed(&seq_b);
+        let mask = xor_to_base_mask(a.words(), b.words(), 40);
+        for pos in 0..40 {
+            assert_eq!(mask.get(pos), [15, 16, 31, 32].contains(&pos), "pos {pos}");
+        }
+    }
+}

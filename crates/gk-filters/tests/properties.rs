@@ -1,0 +1,135 @@
+//! Property-based tests for the pre-alignment filters.
+//!
+//! The invariant that matters most is the paper's central accuracy claim: the
+//! GateKeeper-GPU filter never rejects a pair whose true edit distance is within
+//! the threshold (zero false rejects), for any read content, threshold, or edit mix.
+
+use gk_align::edit_distance;
+use gk_filters::{
+    GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
+    SneakySnakeFilter,
+};
+use proptest::prelude::*;
+
+fn dna(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), len)
+}
+
+/// A pair built from a reference plus a scripted list of edits, so the true edit
+/// distance is bounded by construction.
+fn edited_pair(len: usize, max_edits: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (dna(len), proptest::collection::vec((0usize..len, 0u8..3), 0..=max_edits)).prop_map(
+        move |(reference, edits)| {
+            let mut read = reference.clone();
+            for (pos, kind) in edits {
+                let pos = pos.min(read.len().saturating_sub(1));
+                match kind {
+                    0 => {
+                        // substitution
+                        read[pos] = match read[pos] {
+                            b'A' => b'C',
+                            b'C' => b'G',
+                            b'G' => b'T',
+                            _ => b'A',
+                        };
+                    }
+                    1 => {
+                        // deletion (pad the tail to keep the read length)
+                        read.remove(pos);
+                        read.push(b'A');
+                    }
+                    _ => {
+                        // insertion (truncate to keep the read length)
+                        read.insert(pos, b'G');
+                        read.truncate(len);
+                    }
+                }
+            }
+            (read, reference)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// GateKeeper-GPU never false-rejects: if the true edit distance is ≤ e, the
+    /// pair is accepted.
+    #[test]
+    fn gatekeeper_gpu_has_no_false_rejects((read, reference) in edited_pair(100, 8), e in 0u32..=10) {
+        let truth = edit_distance(&read, &reference);
+        if truth <= e {
+            let decision = GateKeeperGpuFilter::new(e).filter_pair(&read, &reference);
+            prop_assert!(decision.accepted, "truth = {truth}, e = {e}");
+        }
+    }
+
+    /// The same holds at 150 bp and 250 bp read lengths (multi-word masks).
+    #[test]
+    fn no_false_rejects_at_longer_read_lengths((read, reference) in edited_pair(250, 12), e in 0u32..=25) {
+        let truth = edit_distance(&read, &reference);
+        if truth <= e {
+            let decision = GateKeeperGpuFilter::new(e).filter_pair(&read, &reference);
+            prop_assert!(decision.accepted, "truth = {truth}, e = {e}");
+        }
+    }
+
+    /// SneakySnake's obstacle count is a lower bound within the band, so it never
+    /// false-rejects either.
+    #[test]
+    fn sneaky_snake_has_no_false_rejects((read, reference) in edited_pair(100, 8), e in 0u32..=10) {
+        let truth = edit_distance(&read, &reference);
+        if truth <= e {
+            let decision = SneakySnakeFilter::new(e).filter_pair(&read, &reference);
+            prop_assert!(decision.accepted, "truth = {truth}, e = {e}");
+        }
+    }
+
+    /// Identical sequences pass every filter at every threshold.
+    #[test]
+    fn exact_matches_always_pass(reference in dna(100), e in 0u32..=10) {
+        let filters: Vec<Box<dyn PreAlignmentFilter>> = vec![
+            Box::new(GateKeeperGpuFilter::new(e)),
+            Box::new(GateKeeperFpgaFilter::new(e)),
+            Box::new(ShdFilter::new(e)),
+            Box::new(MagnetFilter::new(e)),
+            Box::new(SneakySnakeFilter::new(e)),
+        ];
+        for filter in &filters {
+            prop_assert!(
+                filter.filter_pair(&reference, &reference).accepted,
+                "{} rejected an exact match at e = {e}",
+                filter.name()
+            );
+        }
+    }
+
+    /// Accepting is monotone in the threshold: a pair accepted at e is accepted at
+    /// every larger threshold.
+    #[test]
+    fn gatekeeper_acceptance_is_monotone_in_threshold((read, reference) in edited_pair(100, 10), e in 0u32..=8) {
+        let at_e = GateKeeperGpuFilter::new(e).filter_pair(&read, &reference).accepted;
+        let at_e_plus = GateKeeperGpuFilter::new(e + 2).filter_pair(&read, &reference).accepted;
+        if at_e {
+            prop_assert!(at_e_plus, "accepted at e = {e} but rejected at e = {}", e + 2);
+        }
+    }
+
+    /// SHD and GateKeeper-FPGA implement the same algorithm and must agree.
+    #[test]
+    fn shd_equals_gatekeeper_fpga((read, reference) in edited_pair(150, 10), e in 0u32..=15) {
+        let shd = ShdFilter::new(e).filter_pair(&read, &reference);
+        let fpga = GateKeeperFpgaFilter::new(e).filter_pair(&read, &reference);
+        prop_assert_eq!(shd.accepted, fpga.accepted);
+        prop_assert_eq!(shd.estimated_edits, fpga.estimated_edits);
+    }
+
+    /// The filter decision only depends on the pair contents (purity / determinism).
+    #[test]
+    fn decisions_are_deterministic((read, reference) in edited_pair(100, 6), e in 0u32..=10) {
+        let filter = GateKeeperGpuFilter::new(e);
+        let a = filter.filter_pair(&read, &reference);
+        let b = filter.filter_pair(&read, &reference);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,407 @@
+//! SIMT kernel execution: grid/block/warp decomposition, functional execution of
+//! the per-thread kernel body, and the kernel timing model.
+//!
+//! GateKeeper-GPU assigns one *filtration* to each CUDA thread "to have the least
+//! possible dependency between the threads for high filtering throughput" (§3.1).
+//! The simulator keeps that structure: the caller supplies a closure that plays the
+//! role of the device function, the launcher enumerates the grid, groups threads
+//! into 32-wide warps and runs the blocks in parallel on the host with Rayon. Each
+//! thread reports how much device work it performed (in modelled cycles) and
+//! whether it was active at all; from those reports the launcher derives
+//!
+//! * the **kernel time** under an analytic throughput model (cycles spread over the
+//!   device's CUDA cores at its clock, derated by how much latency the achieved
+//!   occupancy can hide),
+//! * the **warp execution efficiency** (average fraction of active lanes per warp),
+//! * the **achieved occupancy** and **SM efficiency**,
+//!
+//! i.e. the quantities the paper reports from `nvprof` in §5.4.
+
+use crate::device::DeviceSpec;
+use crate::occupancy::{theoretical_occupancy, OccupancyResult};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+// The kernel resource description lives with the occupancy calculator; re-export it
+// here because launches always need both.
+pub use crate::occupancy::KernelResources;
+
+/// Grid configuration of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// A launch sized so that `work_items` threads exist (the batch size of one
+    /// GateKeeper-GPU kernel call), using maximum-size blocks as the paper does.
+    pub fn for_work_items(device: &DeviceSpec, work_items: usize) -> LaunchConfig {
+        let threads_per_block = device.max_threads_per_block;
+        let grid_blocks = (work_items as u64).div_ceil(threads_per_block as u64) as u32;
+        LaunchConfig {
+            grid_blocks: grid_blocks.max(1),
+            threads_per_block,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> usize {
+        self.grid_blocks as usize * self.threads_per_block as usize
+    }
+}
+
+/// Identity of one simulated CUDA thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadCtx {
+    /// Block index within the grid (`blockIdx.x`).
+    pub block_idx: u32,
+    /// Thread index within the block (`threadIdx.x`).
+    pub thread_idx: u32,
+    /// Flattened global thread index.
+    pub global_idx: usize,
+}
+
+/// What one thread reports back after running the kernel body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadReport {
+    /// Modelled device cycles consumed by the thread.
+    pub cycles: u64,
+    /// Whether the thread had real work (threads beyond the batch size, or threads
+    /// given an undefined pair, early-exit and count as inactive lanes).
+    pub active: bool,
+}
+
+impl ThreadReport {
+    /// An idle lane (thread index beyond the work items).
+    pub fn idle() -> ThreadReport {
+        ThreadReport {
+            cycles: 0,
+            active: false,
+        }
+    }
+}
+
+/// Statistics of one simulated kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Launch configuration used.
+    pub config: LaunchConfig,
+    /// Threads launched (grid × block).
+    pub launched_threads: usize,
+    /// Threads that reported doing real work.
+    pub active_threads: usize,
+    /// Total modelled device cycles across all threads.
+    pub total_cycles: u64,
+    /// Modelled kernel execution time in seconds (what CUDA events would measure).
+    pub kernel_seconds: f64,
+    /// Theoretical occupancy for the launch.
+    pub theoretical_occupancy: f64,
+    /// Achieved occupancy (theoretical, derated when the grid cannot fill the SMs).
+    pub achieved_occupancy: f64,
+    /// Average fraction of active lanes per warp.
+    pub warp_execution_efficiency: f64,
+    /// Fraction of SMs kept busy during the launch.
+    pub sm_efficiency: f64,
+}
+
+
+/// Launches a kernel: runs `body` once per thread (in parallel over blocks) and
+/// derives timing and utilisation statistics from the per-thread reports.
+pub fn launch_kernel<F>(
+    device: &DeviceSpec,
+    resources: &KernelResources,
+    config: LaunchConfig,
+    body: F,
+) -> KernelStats
+where
+    F: Fn(ThreadCtx) -> ThreadReport + Sync,
+{
+    let threads_per_block = config.threads_per_block.max(1);
+    let warp_size = device.warp_size.max(1) as usize;
+
+    // Run every block in parallel; within a block, enumerate warps so the warp
+    // execution efficiency can be measured the way nvprof defines it.
+    #[derive(Default, Clone, Copy)]
+    struct BlockOutcome {
+        cycles: u64,
+        active_threads: usize,
+        warp_lane_efficiency_sum: f64,
+        warps: usize,
+    }
+
+    let outcomes: Vec<BlockOutcome> = (0..config.grid_blocks)
+        .into_par_iter()
+        .map(|block_idx| {
+            let mut outcome = BlockOutcome::default();
+            let mut lane_cycles: Vec<u64> = Vec::with_capacity(warp_size);
+            for warp_start in (0..threads_per_block).step_by(warp_size) {
+                lane_cycles.clear();
+                for lane in 0..warp_size as u32 {
+                    let thread_idx = warp_start + lane;
+                    if thread_idx >= threads_per_block {
+                        break;
+                    }
+                    let global_idx =
+                        block_idx as usize * threads_per_block as usize + thread_idx as usize;
+                    let report = body(ThreadCtx {
+                        block_idx,
+                        thread_idx,
+                        global_idx,
+                    });
+                    outcome.cycles += report.cycles;
+                    if report.active {
+                        outcome.active_threads += 1;
+                    }
+                    lane_cycles.push(if report.active { report.cycles.max(1) } else { 0 });
+                }
+                // Warp execution efficiency: lanes of a warp execute in lockstep, so
+                // the warp is busy for the slowest lane's cycles; lanes that finish
+                // early (or never had work) waste issue slots.
+                let warp_time = lane_cycles.iter().copied().max().unwrap_or(0);
+                if warp_time > 0 {
+                    let useful: u64 = lane_cycles.iter().sum();
+                    outcome.warp_lane_efficiency_sum +=
+                        useful as f64 / (warp_size as u64 * warp_time) as f64;
+                    outcome.warps += 1;
+                }
+            }
+            outcome
+        })
+        .collect();
+
+    let total_cycles: u64 = outcomes.iter().map(|o| o.cycles).sum();
+    let active_threads: usize = outcomes.iter().map(|o| o.active_threads).sum();
+    let total_warps: usize = outcomes.iter().map(|o| o.warps).sum();
+    let warp_eff_sum: f64 = outcomes.iter().map(|o| o.warp_lane_efficiency_sum).sum();
+
+    let occupancy: OccupancyResult = theoretical_occupancy(device, resources);
+
+    // Achieved occupancy: the theoretical value derated when there are not enough
+    // resident warps to fill every SM (small grids), plus a small scheduling loss.
+    let resident_warp_capacity =
+        (occupancy.active_warps_per_sm as usize * device.sm_count as usize).max(1);
+    let fill = (total_warps as f64 / resident_warp_capacity as f64).min(1.0);
+    let achieved_occupancy = occupancy.occupancy * fill * 0.97;
+
+    // SM efficiency: fraction of SMs with at least one block, derated slightly for
+    // launch/drain overhead (the paper reports ≥ 95–98%).
+    let sm_efficiency =
+        ((config.grid_blocks as f64 / device.sm_count as f64).min(1.0) * 0.99).min(0.99);
+
+    let warp_execution_efficiency = if total_warps == 0 {
+        0.0
+    } else {
+        warp_eff_sum / total_warps as f64
+    };
+
+    // Timing model: total cycles spread over the CUDA cores at the device clock,
+    // derated by how well the achieved occupancy hides latency. At 50% occupancy the
+    // GateKeeper kernel sustains roughly 70% of peak issue rate.
+    let latency_hiding = 0.4 + 0.6 * achieved_occupancy.min(1.0);
+    let effective_ops_per_second = device.peak_ops_per_second() * latency_hiding.max(0.05);
+    let kernel_seconds = if total_cycles == 0 {
+        0.0
+    } else {
+        total_cycles as f64 / effective_ops_per_second
+    };
+
+    KernelStats {
+        config,
+        launched_threads: config.total_threads(),
+        active_threads,
+        total_cycles,
+        kernel_seconds,
+        theoretical_occupancy: occupancy.occupancy,
+        achieved_occupancy,
+        warp_execution_efficiency,
+        sm_efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::gtx_1080_ti()
+    }
+
+    fn resources(d: &DeviceSpec) -> KernelResources {
+        KernelResources::gatekeeper_gpu(d)
+    }
+
+    fn uniform_kernel(cycles: u64) -> impl Fn(ThreadCtx) -> ThreadReport + Sync {
+        move |_ctx| ThreadReport {
+            cycles,
+            active: true,
+        }
+    }
+
+    #[test]
+    fn launch_config_covers_all_work_items() {
+        let d = device();
+        let config = LaunchConfig::for_work_items(&d, 100_000);
+        assert!(config.total_threads() >= 100_000);
+        assert!(config.total_threads() < 100_000 + d.max_threads_per_block as usize);
+        assert_eq!(config.threads_per_block, d.max_threads_per_block);
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let d = device();
+        let config = LaunchConfig {
+            grid_blocks: 7,
+            threads_per_block: 96,
+        };
+        let counter = AtomicUsize::new(0);
+        let stats = launch_kernel(&d, &resources(&d), config, |_ctx| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            ThreadReport {
+                cycles: 1,
+                active: true,
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 7 * 96);
+        assert_eq!(stats.launched_threads, 7 * 96);
+        assert_eq!(stats.active_threads, 7 * 96);
+    }
+
+    #[test]
+    fn global_indices_are_unique_and_dense() {
+        use parking_lot::Mutex;
+        let d = device();
+        let config = LaunchConfig {
+            grid_blocks: 3,
+            threads_per_block: 64,
+        };
+        let seen = Mutex::new(vec![false; config.total_threads()]);
+        launch_kernel(&d, &resources(&d), config, |ctx| {
+            let mut guard = seen.lock();
+            assert!(!guard[ctx.global_idx], "duplicate index {}", ctx.global_idx);
+            guard[ctx.global_idx] = true;
+            ThreadReport {
+                cycles: 1,
+                active: true,
+            }
+        });
+        assert!(seen.lock().iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kernel_time_scales_with_work() {
+        let d = device();
+        let config = LaunchConfig {
+            grid_blocks: 64,
+            threads_per_block: 1024,
+        };
+        let light = launch_kernel(&d, &resources(&d), config, uniform_kernel(100));
+        let heavy = launch_kernel(&d, &resources(&d), config, uniform_kernel(1000));
+        assert!(heavy.kernel_seconds > light.kernel_seconds * 5.0);
+    }
+
+    #[test]
+    fn faster_device_finishes_sooner() {
+        let pascal = DeviceSpec::gtx_1080_ti();
+        let kepler = DeviceSpec::tesla_k20x();
+        let config = LaunchConfig {
+            grid_blocks: 128,
+            threads_per_block: 1024,
+        };
+        let on_pascal = launch_kernel(
+            &pascal,
+            &KernelResources::gatekeeper_gpu(&pascal),
+            config,
+            uniform_kernel(500),
+        );
+        let on_kepler = launch_kernel(
+            &kepler,
+            &KernelResources::gatekeeper_gpu(&kepler),
+            config,
+            uniform_kernel(500),
+        );
+        assert!(on_kepler.kernel_seconds > on_pascal.kernel_seconds);
+    }
+
+    #[test]
+    fn achieved_occupancy_tracks_theoretical_for_large_grids() {
+        // §5.4.1: achieved occupancy is within a couple of points of the 50%
+        // theoretical value for full launches.
+        let d = device();
+        let config = LaunchConfig {
+            grid_blocks: 256,
+            threads_per_block: 1024,
+        };
+        let stats = launch_kernel(&d, &resources(&d), config, uniform_kernel(10));
+        assert!((stats.theoretical_occupancy - 0.5).abs() < 1e-9);
+        assert!(stats.achieved_occupancy > 0.44 && stats.achieved_occupancy <= 0.5);
+    }
+
+    #[test]
+    fn small_grids_lower_achieved_occupancy_and_sm_efficiency() {
+        let d = device();
+        let small = launch_kernel(
+            &d,
+            &resources(&d),
+            LaunchConfig {
+                grid_blocks: 2,
+                threads_per_block: 1024,
+            },
+            uniform_kernel(10),
+        );
+        let large = launch_kernel(
+            &d,
+            &resources(&d),
+            LaunchConfig {
+                grid_blocks: 256,
+                threads_per_block: 1024,
+            },
+            uniform_kernel(10),
+        );
+        assert!(small.achieved_occupancy < large.achieved_occupancy);
+        assert!(small.sm_efficiency < large.sm_efficiency);
+        assert!(large.sm_efficiency > 0.95);
+    }
+
+    #[test]
+    fn inactive_lanes_reduce_warp_execution_efficiency() {
+        let d = device();
+        let config = LaunchConfig {
+            grid_blocks: 8,
+            threads_per_block: 1024,
+        };
+        // Half the lanes idle (e.g. undefined pairs early-exiting).
+        let stats = launch_kernel(&d, &resources(&d), config, |ctx| {
+            if ctx.global_idx % 2 == 0 {
+                ThreadReport {
+                    cycles: 50,
+                    active: true,
+                }
+            } else {
+                ThreadReport::idle()
+            }
+        });
+        assert!((stats.warp_execution_efficiency - 0.5).abs() < 0.01);
+        let full = launch_kernel(&d, &resources(&d), config, uniform_kernel(50));
+        assert!(full.warp_execution_efficiency > 0.99);
+    }
+
+    #[test]
+    fn zero_work_kernel_takes_no_time() {
+        let d = device();
+        let stats = launch_kernel(
+            &d,
+            &resources(&d),
+            LaunchConfig {
+                grid_blocks: 1,
+                threads_per_block: 32,
+            },
+            |_ctx| ThreadReport::idle(),
+        );
+        assert_eq!(stats.kernel_seconds, 0.0);
+        assert_eq!(stats.active_threads, 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Multi-GPU contexts: batch splitting and aggregate timing across devices.
+//!
+//! Setup 1 of the paper has eight GTX 1080 Ti boards; "In the multi-GPU model, the
+//! batch size is equal for all devices to ensure a fair workload" (§3.1) and "in
+//! multi-GPU throughput analysis, kernel time represents the time of the device,
+//! which takes the longest time to complete among all other active devices" (§4.3).
+//! [`MultiGpu`] reproduces both conventions.
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// A set of identical devices working on the same filtering workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiGpu {
+    devices: Vec<DeviceSpec>,
+}
+
+impl MultiGpu {
+    /// Creates a multi-GPU context with `count` copies of `device`.
+    pub fn homogeneous(device: DeviceSpec, count: usize) -> MultiGpu {
+        assert!(count >= 1, "a multi-GPU context needs at least one device");
+        MultiGpu {
+            devices: vec![device; count],
+        }
+    }
+
+    /// Creates a context from an explicit device list.
+    pub fn from_devices(devices: Vec<DeviceSpec>) -> MultiGpu {
+        assert!(!devices.is_empty(), "a multi-GPU context needs at least one device");
+        MultiGpu { devices }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Splits `total_items` work items into equal per-device shares (the last device
+    /// absorbs the remainder). Returns half-open `[start, end)` ranges per device.
+    pub fn split_work(&self, total_items: usize) -> Vec<(usize, usize)> {
+        let n = self.devices.len();
+        let base = total_items / n;
+        let remainder = total_items % n;
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for i in 0..n {
+            let extra = usize::from(i < remainder);
+            let end = start + base + extra;
+            ranges.push((start, end.min(total_items)));
+            start = end;
+        }
+        ranges
+    }
+
+    /// Multi-GPU kernel time: the slowest device defines the reported time (§4.3).
+    pub fn combined_kernel_seconds(per_device_seconds: &[f64]) -> f64 {
+        per_device_seconds.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_without_overlap() {
+        let ctx = MultiGpu::homogeneous(DeviceSpec::gtx_1080_ti(), 8);
+        let ranges = ctx.split_work(30_000_000);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, 30_000_000);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+        let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 30_000_000);
+    }
+
+    #[test]
+    fn split_is_balanced_within_one_item() {
+        let ctx = MultiGpu::homogeneous(DeviceSpec::gtx_1080_ti(), 3);
+        let ranges = ctx.split_work(10);
+        let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn split_with_fewer_items_than_devices() {
+        let ctx = MultiGpu::homogeneous(DeviceSpec::gtx_1080_ti(), 4);
+        let ranges = ctx.split_work(2);
+        let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(total, 2);
+        assert!(ranges.iter().all(|(s, e)| e >= s));
+    }
+
+    #[test]
+    fn combined_kernel_time_is_the_slowest_device() {
+        assert_eq!(MultiGpu::combined_kernel_seconds(&[0.2, 0.5, 0.3]), 0.5);
+        assert_eq!(MultiGpu::combined_kernel_seconds(&[]), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_contexts_keep_device_order() {
+        let ctx = MultiGpu::from_devices(vec![
+            DeviceSpec::gtx_1080_ti(),
+            DeviceSpec::tesla_k20x(),
+        ]);
+        assert_eq!(ctx.device_count(), 2);
+        assert_eq!(ctx.devices()[1].name, "Tesla K20X");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_context_panics() {
+        MultiGpu::homogeneous(DeviceSpec::gtx_1080_ti(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The CUDA occupancy calculator.
+//!
+//! Warp occupancy — the ratio of resident warps to the maximum the SM supports —
+//! determines how well the SM can hide memory latency. The paper works through the
+//! arithmetic for the GateKeeper-GPU kernel in §5.4.1: the kernel needs 40–48
+//! registers per thread; with 48 registers the best achievable occupancy would be
+//! 63% but only with ≤ 256 threads per block, and because small blocks shrink the
+//! batch per transfer, GateKeeper-GPU instead runs 1024-thread blocks at a
+//! theoretical occupancy of 50%. This module reproduces those numbers from first
+//! principles (register-file, warp-slot, block-slot and shared-memory limits).
+
+use crate::device::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-kernel resource usage that determines occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelResources {
+    /// Registers used per thread.
+    pub registers_per_thread: u32,
+    /// Threads per block the kernel is launched with.
+    pub threads_per_block: u32,
+    /// Dynamic + static shared memory per block, in bytes.
+    pub shared_memory_per_block: u32,
+}
+
+impl KernelResources {
+    /// The GateKeeper-GPU kernel configuration of §5.4.1: 48 registers per thread,
+    /// maximum-size blocks, no shared memory.
+    pub fn gatekeeper_gpu(device: &DeviceSpec) -> KernelResources {
+        KernelResources {
+            registers_per_thread: 48,
+            threads_per_block: device.max_threads_per_block,
+            shared_memory_per_block: 0,
+        }
+    }
+}
+
+/// What ended up limiting the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimit {
+    /// The register file ran out first.
+    Registers,
+    /// The warp slots ran out first.
+    Warps,
+    /// The block slots ran out first.
+    Blocks,
+    /// Shared memory ran out first.
+    SharedMemory,
+}
+
+/// Result of the occupancy computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyResult {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: u32,
+    /// Resident warps per SM.
+    pub active_warps_per_sm: u32,
+    /// Maximum warps the SM supports.
+    pub max_warps_per_sm: u32,
+    /// `active_warps / max_warps`.
+    pub occupancy: f64,
+    /// The resource that limited residency.
+    pub limiting_factor: OccupancyLimit,
+}
+
+/// Computes theoretical occupancy for a kernel on a device.
+pub fn theoretical_occupancy(device: &DeviceSpec, resources: &KernelResources) -> OccupancyResult {
+    let warp_size = device.warp_size.max(1);
+    let threads_per_block = resources
+        .threads_per_block
+        .clamp(1, device.max_threads_per_block);
+    let warps_per_block = threads_per_block.div_ceil(warp_size);
+
+    // Register limit: registers are allocated per warp, rounded up to the
+    // allocation granularity.
+    let regs_per_warp_raw = resources.registers_per_thread.max(1) * warp_size;
+    let granularity = device.register_allocation_granularity.max(1);
+    let regs_per_warp = regs_per_warp_raw.div_ceil(granularity) * granularity;
+    let regs_per_block = regs_per_warp * warps_per_block;
+    let blocks_by_regs = if regs_per_block == 0 {
+        u32::MAX
+    } else {
+        device.registers_per_sm / regs_per_block
+    };
+
+    // Warp-slot limit.
+    let blocks_by_warps = device.max_warps_per_sm / warps_per_block.max(1);
+
+    // Block-slot limit.
+    let blocks_by_slots = device.max_blocks_per_sm;
+
+    // Shared-memory limit.
+    let blocks_by_smem = if resources.shared_memory_per_block == 0 {
+        u32::MAX
+    } else {
+        device.shared_memory_per_sm / resources.shared_memory_per_block
+    };
+
+    let candidates = [
+        (blocks_by_regs, OccupancyLimit::Registers),
+        (blocks_by_warps, OccupancyLimit::Warps),
+        (blocks_by_slots, OccupancyLimit::Blocks),
+        (blocks_by_smem, OccupancyLimit::SharedMemory),
+    ];
+    let (blocks_per_sm, limiting_factor) = candidates
+        .iter()
+        .copied()
+        .min_by_key(|(blocks, _)| *blocks)
+        .expect("candidate list is non-empty");
+
+    let active_warps = blocks_per_sm * warps_per_block;
+    let active_warps = active_warps.min(device.max_warps_per_sm);
+    OccupancyResult {
+        blocks_per_sm,
+        active_warps_per_sm: active_warps,
+        max_warps_per_sm: device.max_warps_per_sm,
+        occupancy: active_warps as f64 / device.max_warps_per_sm as f64,
+        limiting_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §5.4.1: "The maximum theoretical occupancy that can be reached with 48
+    /// registers per thread is 63%, but the number of threads per block should be at
+    /// most 256."
+    #[test]
+    fn forty_eight_registers_at_256_threads_gives_63_percent() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let result = theoretical_occupancy(
+            &device,
+            &KernelResources {
+                registers_per_thread: 48,
+                threads_per_block: 256,
+                shared_memory_per_block: 0,
+            },
+        );
+        assert_eq!(result.active_warps_per_sm, 40);
+        assert!((result.occupancy - 0.625).abs() < 1e-9);
+        assert_eq!(result.limiting_factor, OccupancyLimit::Registers);
+    }
+
+    /// §5.4.1: "GateKeeper-GPU's theoretical warp occupancy is 50%" (with 48
+    /// registers and maximum-size 1024-thread blocks).
+    #[test]
+    fn gatekeeper_configuration_gives_50_percent() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let result = theoretical_occupancy(&device, &KernelResources::gatekeeper_gpu(&device));
+        assert_eq!(result.blocks_per_sm, 1);
+        assert_eq!(result.active_warps_per_sm, 32);
+        assert!((result.occupancy - 0.5).abs() < 1e-9);
+    }
+
+    /// §5.4.1: "the maximum number of registers per thread is 32 for 100% occupancy
+    /// while using all threads in a warp."
+    #[test]
+    fn thirty_two_registers_allows_full_occupancy() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let result = theoretical_occupancy(
+            &device,
+            &KernelResources {
+                registers_per_thread: 32,
+                threads_per_block: 1024,
+                shared_memory_per_block: 0,
+            },
+        );
+        assert!((result.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kepler_reaches_50_percent_with_gatekeeper_kernel() {
+        let device = DeviceSpec::tesla_k20x();
+        let result = theoretical_occupancy(&device, &KernelResources::gatekeeper_gpu(&device));
+        assert!(result.occupancy >= 0.45 && result.occupancy <= 0.55);
+    }
+
+    #[test]
+    fn shared_memory_can_become_the_limit() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let result = theoretical_occupancy(
+            &device,
+            &KernelResources {
+                registers_per_thread: 16,
+                threads_per_block: 128,
+                shared_memory_per_block: 48 * 1024,
+            },
+        );
+        assert_eq!(result.limiting_factor, OccupancyLimit::SharedMemory);
+        assert!(result.occupancy < 0.5);
+    }
+
+    #[test]
+    fn small_blocks_can_be_limited_by_block_slots() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let result = theoretical_occupancy(
+            &device,
+            &KernelResources {
+                registers_per_thread: 16,
+                threads_per_block: 32,
+                shared_memory_per_block: 0,
+            },
+        );
+        assert_eq!(result.limiting_factor, OccupancyLimit::Blocks);
+        assert_eq!(result.blocks_per_sm, device.max_blocks_per_sm);
+    }
+
+    #[test]
+    fn occupancy_is_monotone_in_register_pressure() {
+        let device = DeviceSpec::gtx_1080_ti();
+        let mut last = 2.0;
+        for regs in [16u32, 32, 48, 64, 96, 128] {
+            let result = theoretical_occupancy(
+                &device,
+                &KernelResources {
+                    registers_per_thread: regs,
+                    threads_per_block: 256,
+                    shared_memory_per_block: 0,
+                },
+            );
+            assert!(result.occupancy <= last + 1e-12, "regs = {regs}");
+            last = result.occupancy;
+        }
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        let device = DeviceSpec::gtx_1080_ti();
+        for regs in [1u32, 8, 200] {
+            for tpb in [32u32, 64, 512, 1024] {
+                let result = theoretical_occupancy(
+                    &device,
+                    &KernelResources {
+                        registers_per_thread: regs,
+                        threads_per_block: tpb,
+                        shared_memory_per_block: 0,
+                    },
+                );
+                assert!(result.occupancy <= 1.0 && result.occupancy >= 0.0);
+            }
+        }
+    }
+}

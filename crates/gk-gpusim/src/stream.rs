@@ -1,0 +1,148 @@
+//! CUDA-stream and event style timeline bookkeeping.
+//!
+//! GateKeeper-GPU submits each input buffer's prefetch to a different stream so the
+//! migrations overlap (§3.4), and measures kernel time with the CUDA Event API
+//! (§4.3). The simulator models a stream as a monotonically growing timeline of
+//! simulated seconds; events capture timeline positions so elapsed times can be
+//! read back exactly like `cudaEventElapsedTime`.
+
+use serde::{Deserialize, Serialize};
+
+/// A simulated CUDA stream: an ordered timeline of enqueued work.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Stream {
+    /// Name for reporting (e.g. `"prefetch-reads"`).
+    pub name: String,
+    cursor_seconds: f64,
+    operations: Vec<(String, f64)>,
+}
+
+impl Stream {
+    /// Creates an empty stream.
+    pub fn new(name: impl Into<String>) -> Stream {
+        Stream {
+            name: name.into(),
+            cursor_seconds: 0.0,
+            operations: Vec::new(),
+        }
+    }
+
+    /// Enqueues an operation lasting `seconds`; returns its completion time.
+    pub fn enqueue(&mut self, label: impl Into<String>, seconds: f64) -> f64 {
+        let seconds = seconds.max(0.0);
+        self.cursor_seconds += seconds;
+        self.operations.push((label.into(), seconds));
+        self.cursor_seconds
+    }
+
+    /// Records an event at the current end of the stream.
+    pub fn record_event(&self) -> Event {
+        Event {
+            at_seconds: self.cursor_seconds,
+        }
+    }
+
+    /// Blocks (conceptually) until all enqueued work completes; returns the total
+    /// stream time.
+    pub fn synchronize(&self) -> f64 {
+        self.cursor_seconds
+    }
+
+    /// Number of operations enqueued so far.
+    pub fn len(&self) -> usize {
+        self.operations.len()
+    }
+
+    /// True when no work has been enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.operations.is_empty()
+    }
+
+    /// The enqueued operations, in order, as (label, duration seconds).
+    pub fn operations(&self) -> &[(String, f64)] {
+        &self.operations
+    }
+}
+
+/// A simulated CUDA event: a point on a stream's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    at_seconds: f64,
+}
+
+impl Event {
+    /// Timeline position of the event, in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.at_seconds
+    }
+
+    /// Elapsed time between two events (like `cudaEventElapsedTime`, but in
+    /// seconds). Negative if `self` was recorded after `later`.
+    pub fn elapsed_until(&self, later: &Event) -> f64 {
+        later.at_seconds - self.at_seconds
+    }
+}
+
+/// Completion time of a set of concurrent streams (they all start at zero): the
+/// slowest stream defines the wall-clock cost, the way the paper's multi-stream
+/// prefetching and multi-GPU kernel-time reporting work.
+pub fn parallel_completion_seconds(streams: &[Stream]) -> f64 {
+    streams
+        .iter()
+        .map(|s| s.synchronize())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enqueue_accumulates_time_in_order() {
+        let mut s = Stream::new("test");
+        assert!(s.is_empty());
+        let t1 = s.enqueue("prefetch", 0.5);
+        let t2 = s.enqueue("kernel", 1.5);
+        assert_eq!(t1, 0.5);
+        assert_eq!(t2, 2.0);
+        assert_eq!(s.synchronize(), 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn negative_durations_are_clamped() {
+        let mut s = Stream::new("test");
+        s.enqueue("weird", -1.0);
+        assert_eq!(s.synchronize(), 0.0);
+    }
+
+    #[test]
+    fn events_measure_elapsed_time() {
+        let mut s = Stream::new("test");
+        let start = s.record_event();
+        s.enqueue("kernel", 0.25);
+        let end = s.record_event();
+        assert!((start.elapsed_until(&end) - 0.25).abs() < 1e-12);
+        assert!((end.elapsed_until(&start) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_completion_takes_the_slowest_stream() {
+        let mut a = Stream::new("a");
+        let mut b = Stream::new("b");
+        a.enqueue("x", 1.0);
+        b.enqueue("y", 0.2);
+        b.enqueue("z", 0.3);
+        assert_eq!(parallel_completion_seconds(&[a, b]), 1.0);
+        assert_eq!(parallel_completion_seconds(&[]), 0.0);
+    }
+
+    #[test]
+    fn operations_are_recorded_with_labels() {
+        let mut s = Stream::new("ops");
+        s.enqueue("prefetch reads", 0.1);
+        s.enqueue("kernel", 0.2);
+        let labels: Vec<&str> = s.operations().iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["prefetch reads", "kernel"]);
+    }
+}

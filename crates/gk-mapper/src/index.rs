@@ -1,0 +1,185 @@
+//! k-mer hash index over the reference genome.
+//!
+//! mrFAST builds an index of fixed-length k-mers (12-mers by default) over the
+//! reference; seeding looks up the k-mers extracted from each read and every hit
+//! becomes a candidate mapping location. Regions containing `N` are skipped during
+//! construction, mirroring §3.5 ("the locations of 'N' bases on the reference
+//! genome are also recorded since the segments containing this character will not
+//! be evaluated").
+
+use gk_seq::alphabet::encode_base;
+use gk_seq::reference::Reference;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Default seed length, matching mrFAST's 12-mer index.
+pub const DEFAULT_KMER_LEN: usize = 12;
+
+/// A k-mer hash index over one reference sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmerIndex {
+    k: usize,
+    /// 2-bit packed k-mer value → sorted reference positions.
+    entries: HashMap<u64, Vec<u32>>,
+    reference_len: usize,
+}
+
+impl KmerIndex {
+    /// Builds an index with the default k-mer length.
+    pub fn build(reference: &Reference) -> KmerIndex {
+        KmerIndex::build_with_k(reference, DEFAULT_KMER_LEN)
+    }
+
+    /// Builds an index with an explicit k-mer length (2–31).
+    pub fn build_with_k(reference: &Reference, k: usize) -> KmerIndex {
+        assert!((2..=31).contains(&k), "k-mer length {k} out of range 2..=31");
+        let seq = &reference.sequence;
+        let mut entries: HashMap<u64, Vec<u32>> = HashMap::new();
+        if seq.len() >= k {
+            let mask = (1u64 << (2 * k)) - 1;
+            let mut value = 0u64;
+            let mut valid = 0usize; // number of consecutive definite bases ending here
+            for (i, &base) in seq.iter().enumerate() {
+                match encode_base(base) {
+                    Some(code) => {
+                        value = ((value << 2) | code as u64) & mask;
+                        valid += 1;
+                    }
+                    None => {
+                        valid = 0;
+                        value = 0;
+                    }
+                }
+                if valid >= k {
+                    let pos = (i + 1 - k) as u32;
+                    entries.entry(value).or_default().push(pos);
+                }
+            }
+        }
+        KmerIndex {
+            k,
+            entries,
+            reference_len: seq.len(),
+        }
+    }
+
+    /// The seed length of the index.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Length of the indexed reference.
+    pub fn reference_len(&self) -> usize {
+        self.reference_len
+    }
+
+    /// Number of distinct k-mers present.
+    pub fn distinct_kmers(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of indexed positions.
+    pub fn total_positions(&self) -> usize {
+        self.entries.values().map(|v| v.len()).sum()
+    }
+
+    /// Packs an ASCII k-mer into its 2-bit value; `None` if it contains a non-ACGT
+    /// base or has the wrong length.
+    pub fn pack_kmer(&self, kmer: &[u8]) -> Option<u64> {
+        if kmer.len() != self.k {
+            return None;
+        }
+        let mut value = 0u64;
+        for &base in kmer {
+            value = (value << 2) | encode_base(base)? as u64;
+        }
+        Some(value)
+    }
+
+    /// Reference positions where the k-mer occurs (empty slice if absent or invalid).
+    pub fn lookup(&self, kmer: &[u8]) -> &[u32] {
+        match self.pack_kmer(kmer) {
+            Some(value) => self.entries.get(&value).map(|v| v.as_slice()).unwrap_or(&[]),
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_seq::reference::ReferenceBuilder;
+
+    #[test]
+    fn indexes_every_position_of_a_small_reference() {
+        let reference = Reference::from_ascii("t", b"ACGTACGTACGT");
+        let index = KmerIndex::build_with_k(&reference, 4);
+        assert_eq!(index.total_positions(), 12 - 4 + 1);
+        assert_eq!(index.lookup(b"ACGT"), &[0, 4, 8]);
+        assert_eq!(index.lookup(b"CGTA"), &[1, 5]);
+        assert_eq!(index.lookup(b"TTTT"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn skips_kmers_spanning_n_bases() {
+        let reference = Reference::from_ascii("t", b"ACGTNACGT");
+        let index = KmerIndex::build_with_k(&reference, 4);
+        // Only positions 0 and 5 host N-free 4-mers.
+        assert_eq!(index.lookup(b"ACGT"), &[0, 5]);
+        assert_eq!(index.total_positions(), 2);
+    }
+
+    #[test]
+    fn lookup_of_invalid_kmer_is_empty() {
+        let reference = Reference::from_ascii("t", b"ACGTACGT");
+        let index = KmerIndex::build_with_k(&reference, 4);
+        assert_eq!(index.lookup(b"ACGN"), &[] as &[u32]);
+        assert_eq!(index.lookup(b"ACG"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn finds_planted_kmers_in_a_synthetic_genome() {
+        let reference = ReferenceBuilder::new(50_000).seed(7).n_gaps(0, 0).build();
+        let index = KmerIndex::build(&reference);
+        assert_eq!(index.k(), DEFAULT_KMER_LEN);
+        for start in [0usize, 1_000, 25_000, 49_900 - DEFAULT_KMER_LEN] {
+            let kmer = &reference.sequence[start..start + DEFAULT_KMER_LEN];
+            assert!(
+                index.lookup(kmer).contains(&(start as u32)),
+                "position {start} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn repeats_create_multi_hit_kmers() {
+        let reference = ReferenceBuilder::new(100_000)
+            .seed(3)
+            .repeat_fraction(0.5)
+            .repeat_divergence(0.0)
+            .n_gaps(0, 0)
+            .build();
+        let index = KmerIndex::build(&reference);
+        let multi_hit = index
+            .entries
+            .values()
+            .filter(|positions| positions.len() > 1)
+            .count();
+        assert!(multi_hit > 0, "expected repeated k-mers in a repeat-rich genome");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unreasonable_k_panics() {
+        let reference = Reference::from_ascii("t", b"ACGT");
+        KmerIndex::build_with_k(&reference, 40);
+    }
+
+    #[test]
+    fn short_reference_yields_empty_index() {
+        let reference = Reference::from_ascii("t", b"ACG");
+        let index = KmerIndex::build_with_k(&reference, 5);
+        assert_eq!(index.total_positions(), 0);
+        assert_eq!(index.distinct_kmers(), 0);
+    }
+}

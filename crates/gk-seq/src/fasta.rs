@@ -1,0 +1,234 @@
+//! Minimal FASTA reader/writer.
+//!
+//! The whole-genome experiments load a reference genome (GRCh37 in the paper) from
+//! FASTA. This module keeps the format support intentionally small and allocation
+//! friendly: multi-record files, arbitrary line wrapping, `>`-prefixed headers with
+//! an optional description, and nothing else.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A single FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Record identifier (the first whitespace-delimited token after `>`).
+    pub id: String,
+    /// Remainder of the header line after the identifier, if any.
+    pub description: Option<String>,
+    /// Sequence bytes with line breaks removed.
+    pub sequence: Vec<u8>,
+}
+
+impl FastaRecord {
+    /// Creates a record with no description.
+    pub fn new(id: impl Into<String>, sequence: impl Into<Vec<u8>>) -> FastaRecord {
+        FastaRecord {
+            id: id.into(),
+            description: None,
+            sequence: sequence.into(),
+        }
+    }
+
+    /// Sequence length in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// True when the record carries no sequence.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+}
+
+/// Errors produced while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data encountered before any `>` header.
+    MissingHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// A header line with an empty identifier.
+    EmptyHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error while reading FASTA: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before any '>' header")
+            }
+            FastaError::EmptyHeader { line } => write!(f, "line {line}: empty FASTA header"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parses all records from a reader.
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let reader = BufReader::new(reader);
+    let mut records: Vec<FastaRecord> = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                records.push(done);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").trim().to_string();
+            if id.is_empty() {
+                return Err(FastaError::EmptyHeader { line: line_no });
+            }
+            let description = parts
+                .next()
+                .map(|d| d.trim().to_string())
+                .filter(|d| !d.is_empty());
+            current = Some(FastaRecord {
+                id,
+                description,
+                sequence: Vec::new(),
+            });
+        } else {
+            match current.as_mut() {
+                Some(rec) => rec
+                    .sequence
+                    .extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace())),
+                None => return Err(FastaError::MissingHeader { line: line_no }),
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        records.push(done);
+    }
+    Ok(records)
+}
+
+/// Reads all records from a FASTA file on disk.
+pub fn read_fasta_file(path: impl AsRef<Path>) -> Result<Vec<FastaRecord>, FastaError> {
+    let file = std::fs::File::open(path)?;
+    read_fasta(file)
+}
+
+/// Writes records to a writer, wrapping sequence lines at `width` bases.
+pub fn write_fasta<W: Write>(
+    writer: &mut W,
+    records: &[FastaRecord],
+    width: usize,
+) -> io::Result<()> {
+    let width = width.max(1);
+    for rec in records {
+        match &rec.description {
+            Some(desc) => writeln!(writer, ">{} {}", rec.id, desc)?,
+            None => writeln!(writer, ">{}", rec.id)?,
+        }
+        for chunk in rec.sequence.chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes records to a FASTA file on disk with 70-column wrapping.
+pub fn write_fasta_file(path: impl AsRef<Path>, records: &[FastaRecord]) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    write_fasta(&mut file, records, 70)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_record_wrapped_fasta() {
+        let data = b">chr1 test chromosome\nACGTACGT\nACGT\n>chr2\nTTTT\n";
+        let records = read_fasta(&data[..]).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "chr1");
+        assert_eq!(records[0].description.as_deref(), Some("test chromosome"));
+        assert_eq!(records[0].sequence, b"ACGTACGTACGT".to_vec());
+        assert_eq!(records[1].id, "chr2");
+        assert_eq!(records[1].description, None);
+        assert_eq!(records[1].sequence, b"TTTT".to_vec());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = b">r\n\nACGT\n\nACGT\n";
+        let records = read_fasta(&data[..]).unwrap();
+        assert_eq!(records[0].sequence.len(), 8);
+    }
+
+    #[test]
+    fn sequence_before_header_is_an_error() {
+        let data = b"ACGT\n>r\nACGT\n";
+        assert!(matches!(
+            read_fasta(&data[..]),
+            Err(FastaError::MissingHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_header_is_an_error() {
+        let data = b">\nACGT\n";
+        assert!(matches!(
+            read_fasta(&data[..]),
+            Err(FastaError::EmptyHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let records = vec![
+            FastaRecord::new("a", b"ACGTACGTACGTACGT".to_vec()),
+            FastaRecord {
+                id: "b".to_string(),
+                description: Some("simulated".to_string()),
+                sequence: b"TTTTGGGG".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 4).unwrap();
+        let parsed = read_fasta(&buf[..]).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gk_seq_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.fa");
+        let records = vec![FastaRecord::new("chrT", b"ACGTNNACGT".to_vec())];
+        write_fasta_file(&path, &records).unwrap();
+        let parsed = read_fasta_file(&path).unwrap();
+        assert_eq!(parsed, records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = FastaError::MissingHeader { line: 3 };
+        assert!(err.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Minimal FASTQ reader/writer.
+//!
+//! Short reads (the `ERR…`/`SRR…` sets of the paper) arrive as FASTQ. Only the
+//! strict 4-line record layout is supported (`@header`, sequence, `+`, quality) —
+//! the layout emitted by Illumina pipelines and by this crate's read simulator.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// A single FASTQ record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    /// Read identifier (text after `@`, up to the first whitespace).
+    pub id: String,
+    /// Sequence bytes.
+    pub sequence: Vec<u8>,
+    /// Phred+33 quality string, same length as the sequence.
+    pub quality: Vec<u8>,
+}
+
+impl FastqRecord {
+    /// Creates a record with a flat quality string of `I` (Phred 40).
+    pub fn with_uniform_quality(id: impl Into<String>, sequence: impl Into<Vec<u8>>) -> Self {
+        let sequence = sequence.into();
+        let quality = vec![b'I'; sequence.len()];
+        FastqRecord {
+            id: id.into(),
+            sequence,
+            quality,
+        }
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// True when the record carries no sequence.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Mean Phred quality score of the read (0 for an empty read).
+    pub fn mean_quality(&self) -> f64 {
+        if self.quality.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self
+            .quality
+            .iter()
+            .map(|&q| q.saturating_sub(33) as u64)
+            .sum();
+        total as f64 / self.quality.len() as f64
+    }
+}
+
+/// Errors produced while parsing FASTQ input.
+#[derive(Debug)]
+pub enum FastqError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Record did not start with `@`.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The `+` separator line is missing.
+    BadSeparator {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Quality string length does not match the sequence length.
+    LengthMismatch {
+        /// Identifier of the offending record.
+        id: String,
+    },
+    /// File ended in the middle of a record.
+    TruncatedRecord {
+        /// Identifier of the partial record, if the header was read.
+        id: Option<String>,
+    },
+}
+
+impl fmt::Display for FastqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastqError::Io(e) => write!(f, "I/O error while reading FASTQ: {e}"),
+            FastqError::BadHeader { line } => write!(f, "line {line}: expected '@' header"),
+            FastqError::BadSeparator { line } => write!(f, "line {line}: expected '+' separator"),
+            FastqError::LengthMismatch { id } => {
+                write!(f, "record {id}: quality length differs from sequence length")
+            }
+            FastqError::TruncatedRecord { id } => match id {
+                Some(id) => write!(f, "record {id}: truncated"),
+                None => write!(f, "truncated record at end of file"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for FastqError {}
+
+impl From<io::Error> for FastqError {
+    fn from(e: io::Error) -> Self {
+        FastqError::Io(e)
+    }
+}
+
+/// Parses all records from a reader.
+pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<FastqRecord>, FastqError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+    let mut records = Vec::new();
+
+    loop {
+        let (idx, header) = match lines.next() {
+            Some((idx, line)) => (idx, line?),
+            None => break,
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            continue;
+        }
+        if !header.starts_with('@') {
+            return Err(FastqError::BadHeader { line: idx + 1 });
+        }
+        let id = header[1..]
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+
+        let sequence = match lines.next() {
+            Some((_, line)) => line?.trim_end().as_bytes().to_vec(),
+            None => return Err(FastqError::TruncatedRecord { id: Some(id) }),
+        };
+        let (sep_idx, separator) = match lines.next() {
+            Some((idx, line)) => (idx, line?),
+            None => return Err(FastqError::TruncatedRecord { id: Some(id) }),
+        };
+        if !separator.trim_end().starts_with('+') {
+            return Err(FastqError::BadSeparator { line: sep_idx + 1 });
+        }
+        let quality = match lines.next() {
+            Some((_, line)) => line?.trim_end().as_bytes().to_vec(),
+            None => return Err(FastqError::TruncatedRecord { id: Some(id) }),
+        };
+        if quality.len() != sequence.len() {
+            return Err(FastqError::LengthMismatch { id });
+        }
+        records.push(FastqRecord {
+            id,
+            sequence,
+            quality,
+        });
+    }
+    Ok(records)
+}
+
+/// Reads all records from a FASTQ file on disk.
+pub fn read_fastq_file(path: impl AsRef<Path>) -> Result<Vec<FastqRecord>, FastqError> {
+    let file = std::fs::File::open(path)?;
+    read_fastq(file)
+}
+
+/// Writes records in strict 4-line layout.
+pub fn write_fastq<W: Write>(writer: &mut W, records: &[FastqRecord]) -> io::Result<()> {
+    for rec in records {
+        writeln!(writer, "@{}", rec.id)?;
+        writer.write_all(&rec.sequence)?;
+        writer.write_all(b"\n+\n")?;
+        writer.write_all(&rec.quality)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Writes records to a FASTQ file on disk.
+pub fn write_fastq_file(path: impl AsRef<Path>, records: &[FastqRecord]) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    write_fastq(&mut file, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_records() {
+        let data = b"@r1 extra\nACGT\n+\nIIII\n@r2\nTTTT\n+\n!!!!\n";
+        let records = read_fastq(&data[..]).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "r1");
+        assert_eq!(records[0].sequence, b"ACGT".to_vec());
+        assert_eq!(records[1].quality, b"!!!!".to_vec());
+    }
+
+    #[test]
+    fn bad_header_is_detected() {
+        let data = b"r1\nACGT\n+\nIIII\n";
+        assert!(matches!(
+            read_fastq(&data[..]),
+            Err(FastqError::BadHeader { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_separator_is_detected() {
+        let data = b"@r1\nACGT\nX\nIIII\n";
+        assert!(matches!(
+            read_fastq(&data[..]),
+            Err(FastqError::BadSeparator { line: 3 })
+        ));
+    }
+
+    #[test]
+    fn length_mismatch_is_detected() {
+        let data = b"@r1\nACGT\n+\nIII\n";
+        assert!(matches!(
+            read_fastq(&data[..]),
+            Err(FastqError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_record_is_detected() {
+        let data = b"@r1\nACGT\n";
+        assert!(matches!(
+            read_fastq(&data[..]),
+            Err(FastqError::TruncatedRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let records = vec![
+            FastqRecord::with_uniform_quality("a", b"ACGTACGT".to_vec()),
+            FastqRecord {
+                id: "b".to_string(),
+                sequence: b"NNNN".to_vec(),
+                quality: b"!!!!".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        assert_eq!(read_fastq(&buf[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn mean_quality_is_phred_scaled() {
+        let rec = FastqRecord::with_uniform_quality("a", b"ACGT".to_vec());
+        assert!((rec.mean_quality() - 40.0).abs() < 1e-9);
+        let empty = FastqRecord::with_uniform_quality("e", Vec::new());
+        assert_eq!(empty.mean_quality(), 0.0);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gk_seq_fastq_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.fq");
+        let records = vec![FastqRecord::with_uniform_quality("x", b"ACGT".to_vec())];
+        write_fastq_file(&path, &records).unwrap();
+        assert_eq!(read_fastq_file(&path).unwrap(), records);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,196 @@
+//! (read, candidate reference segment) pairs — the unit of work of a pre-alignment
+//! filter.
+//!
+//! Every filtering, accuracy and throughput experiment in the paper operates on
+//! sets of 30 million such pairs seeded by mrFAST (or extracted from Minimap2 /
+//! BWA-MEM just before their first dynamic-programming step, §4.1). [`SequencePair`]
+//! is one pair; [`PairSet`] is a named collection with the bookkeeping the
+//! experiments need (read length, undefined-pair counting, batching).
+
+use crate::alphabet::has_undefined;
+use crate::packed::PackedSeq;
+use serde::{Deserialize, Serialize};
+
+/// A read and the candidate reference segment it may align to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequencePair {
+    /// The read sequence (ASCII).
+    pub read: Vec<u8>,
+    /// The candidate reference segment (ASCII), normally the same length as the read.
+    pub reference: Vec<u8>,
+}
+
+impl SequencePair {
+    /// Creates a pair from ASCII sequences.
+    pub fn new(read: impl Into<Vec<u8>>, reference: impl Into<Vec<u8>>) -> SequencePair {
+        SequencePair {
+            read: read.into(),
+            reference: reference.into(),
+        }
+    }
+
+    /// Read length in bases.
+    pub fn read_len(&self) -> usize {
+        self.read.len()
+    }
+
+    /// True if either sequence contains a base outside `ACGT` (an *undefined* pair,
+    /// which GateKeeper-GPU passes through the filter without examining, §3.3).
+    pub fn is_undefined(&self) -> bool {
+        has_undefined(&self.read) || has_undefined(&self.reference)
+    }
+
+    /// Packs both sequences into the 2-bit device representation.
+    pub fn packed(&self) -> (PackedSeq, PackedSeq) {
+        (
+            PackedSeq::from_ascii(&self.read),
+            PackedSeq::from_ascii(&self.reference),
+        )
+    }
+}
+
+/// A named collection of sequence pairs, as used by the accuracy and throughput
+/// experiments (the paper's "Set 1" … "Set 12").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairSet {
+    /// Human-readable dataset name.
+    pub name: String,
+    /// Read length of the pairs in the set.
+    pub read_len: usize,
+    /// The pairs themselves.
+    pub pairs: Vec<SequencePair>,
+}
+
+impl PairSet {
+    /// Creates a pair set, asserting that all reads share `read_len`.
+    pub fn new(name: impl Into<String>, read_len: usize, pairs: Vec<SequencePair>) -> PairSet {
+        PairSet {
+            name: name.into(),
+            read_len,
+            pairs,
+        }
+    }
+
+    /// Number of pairs in the set.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the set holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of undefined pairs (pairs containing an `N`), the quantity the paper
+    /// reports per dataset in Sup. Table S.1.
+    pub fn undefined_count(&self) -> usize {
+        self.pairs.iter().filter(|p| p.is_undefined()).count()
+    }
+
+    /// Splits the set into batches of at most `batch_size` pairs, preserving order.
+    /// This mirrors the batched kernel launches of GateKeeper-GPU (§3.1).
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = &[SequencePair]> {
+        let batch_size = batch_size.max(1);
+        self.pairs.chunks(batch_size)
+    }
+
+    /// Appends another set's pairs (read lengths must match).
+    pub fn extend_from(&mut self, other: &PairSet) {
+        assert_eq!(
+            self.read_len, other.read_len,
+            "cannot merge pair sets with different read lengths"
+        );
+        self.pairs.extend(other.pairs.iter().cloned());
+    }
+
+    /// Borrow the pairs as parallel slices of (read, reference) for bulk encoding.
+    pub fn as_slices(&self) -> (Vec<&[u8]>, Vec<&[u8]>) {
+        let reads = self.pairs.iter().map(|p| p.read.as_slice()).collect();
+        let refs = self.pairs.iter().map(|p| p.reference.as_slice()).collect();
+        (reads, refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(read: &[u8], reference: &[u8]) -> SequencePair {
+        SequencePair::new(read.to_vec(), reference.to_vec())
+    }
+
+    #[test]
+    fn undefined_detection_checks_both_sides() {
+        assert!(pair(b"ACGN", b"ACGT").is_undefined());
+        assert!(pair(b"ACGT", b"NCGT").is_undefined());
+        assert!(!pair(b"ACGT", b"ACGT").is_undefined());
+    }
+
+    #[test]
+    fn packed_round_trips() {
+        let p = pair(b"ACGTACGT", b"TGCATGCA");
+        let (r, s) = p.packed();
+        assert_eq!(r.to_ascii(), p.read);
+        assert_eq!(s.to_ascii(), p.reference);
+    }
+
+    #[test]
+    fn undefined_count_matches_manual_count() {
+        let set = PairSet::new(
+            "test",
+            4,
+            vec![
+                pair(b"ACGT", b"ACGT"),
+                pair(b"ACGN", b"ACGT"),
+                pair(b"ACGT", b"NNNN"),
+            ],
+        );
+        assert_eq!(set.undefined_count(), 2);
+    }
+
+    #[test]
+    fn batches_cover_all_pairs_in_order() {
+        let pairs: Vec<SequencePair> = (0..10)
+            .map(|i| pair(&[b"ACGT"[i % 4]; 4], b"ACGT"))
+            .collect();
+        let set = PairSet::new("test", 4, pairs.clone());
+        let collected: Vec<SequencePair> = set.batches(3).flatten().cloned().collect();
+        assert_eq!(collected, pairs);
+        assert_eq!(set.batches(3).count(), 4);
+        assert_eq!(set.batches(100).count(), 1);
+    }
+
+    #[test]
+    fn batches_with_zero_size_does_not_panic() {
+        let set = PairSet::new("test", 4, vec![pair(b"ACGT", b"ACGT")]);
+        assert_eq!(set.batches(0).count(), 1);
+    }
+
+    #[test]
+    fn extend_from_merges_pairs() {
+        let mut a = PairSet::new("a", 4, vec![pair(b"ACGT", b"ACGT")]);
+        let b = PairSet::new("b", 4, vec![pair(b"TTTT", b"AAAA")]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different read lengths")]
+    fn extend_from_rejects_mismatched_lengths() {
+        let mut a = PairSet::new("a", 4, vec![]);
+        let b = PairSet::new("b", 8, vec![]);
+        a.extend_from(&b);
+    }
+
+    #[test]
+    fn as_slices_preserves_order() {
+        let set = PairSet::new(
+            "test",
+            4,
+            vec![pair(b"AAAA", b"CCCC"), pair(b"GGGG", b"TTTT")],
+        );
+        let (reads, refs) = set.as_slices();
+        assert_eq!(reads, vec![b"AAAA".as_slice(), b"GGGG".as_slice()]);
+        assert_eq!(refs, vec![b"CCCC".as_slice(), b"TTTT".as_slice()]);
+    }
+}
