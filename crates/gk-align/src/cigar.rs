@@ -34,7 +34,10 @@ impl CigarOp {
 
     /// True if the operation consumes a read base.
     pub fn consumes_read(self) -> bool {
-        matches!(self, CigarOp::Match | CigarOp::Insertion | CigarOp::SoftClip)
+        matches!(
+            self,
+            CigarOp::Match | CigarOp::Insertion | CigarOp::SoftClip
+        )
     }
 
     /// True if the operation consumes a reference base.

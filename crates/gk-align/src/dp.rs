@@ -59,10 +59,10 @@ pub fn banded_levenshtein(a: &[u8], b: &[u8], threshold: u32) -> Option<u32> {
     let mut curr = vec![INF; band];
 
     // Row 0: D[0][j] = j for j in [0, k].
-    for d in 0..band {
+    for (d, slot) in prev.iter_mut().enumerate() {
         let j = d as isize - k as isize; // j relative offset for i = 0
         if (0..=m as isize).contains(&j) && j <= k as isize {
-            prev[d] = j as u32;
+            *slot = j as u32;
         }
     }
 

@@ -204,7 +204,11 @@ mod tests {
             (b"AAAA", b"TTTT"),
         ];
         for (a, b) in cases {
-            assert_eq!(edit_distance(a, b), levenshtein(a, b), "case {a:?} vs {b:?}");
+            assert_eq!(
+                edit_distance(a, b),
+                levenshtein(a, b),
+                "case {a:?} vs {b:?}"
+            );
         }
     }
 

@@ -11,7 +11,10 @@ use gk_align::nw::{needleman_wunsch, ScoringScheme};
 use proptest::prelude::*;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..max_len)
+    proptest::collection::vec(
+        proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+        0..max_len,
+    )
 }
 
 proptest! {

@@ -21,8 +21,14 @@ fn bench_filters(c: &mut Criterion) {
         let threshold = (read_len / 25) as u32;
         let set = DatasetProfile::low_edit(read_len).generate(64, 7);
         let filters: Vec<(&str, Box<dyn PreAlignmentFilter>)> = vec![
-            ("gatekeeper_gpu", Box::new(GateKeeperGpuFilter::new(threshold))),
-            ("gatekeeper_fpga", Box::new(GateKeeperFpgaFilter::new(threshold))),
+            (
+                "gatekeeper_gpu",
+                Box::new(GateKeeperGpuFilter::new(threshold)),
+            ),
+            (
+                "gatekeeper_fpga",
+                Box::new(GateKeeperFpgaFilter::new(threshold)),
+            ),
             ("shouji", Box::new(ShoujiFilter::new(threshold))),
             ("magnet", Box::new(MagnetFilter::new(threshold))),
             ("sneaky_snake", Box::new(SneakySnakeFilter::new(threshold))),

@@ -29,14 +29,18 @@ fn bench_mapper(c: &mut Criterion) {
     let mapper = ReadMapper::new(reference, MapperConfig::new(threshold));
     group.throughput(Throughput::Elements(reads.len() as u64));
 
-    group.bench_with_input(BenchmarkId::new("no_filter", "100bp"), &reads, |b, reads| {
-        b.iter(|| {
-            mapper
-                .map_reads(black_box(reads), &PreFilter::None)
-                .stats
-                .mappings
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("no_filter", "100bp"),
+        &reads,
+        |b, reads| {
+            b.iter(|| {
+                mapper
+                    .map_reads(black_box(reads), &PreFilter::None)
+                    .stats
+                    .mappings
+            })
+        },
+    );
 
     group.bench_with_input(
         BenchmarkId::new("gatekeeper_gpu", "100bp"),

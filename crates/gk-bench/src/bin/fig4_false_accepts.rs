@@ -80,5 +80,7 @@ fn main() {
     }
 
     println!("Expected shape (paper): zero false rejects everywhere; >90% true-reject rate below ~3% error");
-    println!("thresholds; the false-accept rate climbs with the threshold and with the read length.");
+    println!(
+        "thresholds; the false-accept rate climbs with the threshold and with the read length."
+    );
 }

@@ -60,8 +60,12 @@ fn compare_on(set: &PairSet, thresholds: &[u32]) {
         let mut fa_row = vec![e.to_string()];
         let mut fr_row = vec![e.to_string()];
         for filter in filters_for(e) {
-            let report =
-                evaluate_with_truth(filter.as_ref(), set, &truth, UndefinedPolicy::CountAsAccepted);
+            let report = evaluate_with_truth(
+                filter.as_ref(),
+                set,
+                &truth,
+                UndefinedPolicy::CountAsAccepted,
+            );
             fa_row.push(fmt_count(report.false_accepts as u64));
             fr_row.push(fmt_count(report.false_rejects as u64));
         }

@@ -28,7 +28,13 @@ fn main() {
         "Theoretical occupancy",
     ])
     .with_title("CUDA occupancy calculator (GTX 1080 Ti)");
-    for (regs, tpb) in [(32u32, 1024u32), (40, 1024), (48, 256), (48, 512), (48, 1024)] {
+    for (regs, tpb) in [
+        (32u32, 1024u32),
+        (40, 1024),
+        (48, 256),
+        (48, 512),
+        (48, 1024),
+    ] {
         let result = theoretical_occupancy(
             &device,
             &KernelResources {

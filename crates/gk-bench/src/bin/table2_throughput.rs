@@ -64,9 +64,12 @@ fn main() {
                     fmt(cpu1.kernel_b40, 2),
                     fmt(cpu12.kernel_b40, 2),
                     fmt(dev1.kernel_b40, 1),
-                    dev8.map(|p| fmt(p.kernel_b40, 1)).unwrap_or_else(|| na.clone()),
+                    dev8.map(|p| fmt(p.kernel_b40, 1))
+                        .unwrap_or_else(|| na.clone()),
                     fmt(host1.kernel_b40, 1),
-                    host8.map(|p| fmt(p.kernel_b40, 1)).unwrap_or_else(|| na.clone()),
+                    host8
+                        .map(|p| fmt(p.kernel_b40, 1))
+                        .unwrap_or_else(|| na.clone()),
                 ]);
                 table.row(vec![
                     "ft (B/40min)".into(),
@@ -74,9 +77,12 @@ fn main() {
                     fmt(cpu1.filter_b40, 2),
                     fmt(cpu12.filter_b40, 2),
                     fmt(dev1.filter_b40, 2),
-                    dev8.map(|p| fmt(p.filter_b40, 2)).unwrap_or_else(|| na.clone()),
+                    dev8.map(|p| fmt(p.filter_b40, 2))
+                        .unwrap_or_else(|| na.clone()),
                     fmt(host1.filter_b40, 2),
-                    host8.map(|p| fmt(p.filter_b40, 2)).unwrap_or_else(|| na.clone()),
+                    host8
+                        .map(|p| fmt(p.filter_b40, 2))
+                        .unwrap_or_else(|| na.clone()),
                 ]);
             }
             table.print();

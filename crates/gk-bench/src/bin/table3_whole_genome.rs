@@ -40,7 +40,12 @@ fn run_experiment(table: &mut Table, read_len: usize, reads: usize, genome: usiz
     let mapper = ReadMapper::new(reference, MapperConfig::new(e));
 
     let unfiltered = mapper.map_reads(&read_set, &PreFilter::None);
-    row(table, &format!("{read_len}bp  No Filter"), e, &unfiltered.stats);
+    row(
+        table,
+        &format!("{read_len}bp  No Filter"),
+        e,
+        &unfiltered.stats,
+    );
 
     let gpu = GateKeeperGpu::with_default_device(FilterConfig::new(read_len, e));
     let filtered = mapper.map_reads(&read_set, &PreFilter::Gpu(gpu));

@@ -99,7 +99,9 @@ fn main() {
     let genome = args.genome(400_000);
     let reads = args.reads(4_000);
 
-    println!("Table 5: speedup of mrFAST with GateKeeper-GPU over mrFAST without a pre-alignment filter");
+    println!(
+        "Table 5: speedup of mrFAST with GateKeeper-GPU over mrFAST without a pre-alignment filter"
+    );
     println!("(synthetic chromosome of {genome} bp)\n");
 
     let mut table = Table::new(vec![
@@ -147,6 +149,8 @@ fn main() {
     }
 
     table.print();
-    println!("Expected shape (paper): filtering+DP speedup up to ~2.9x (Setup 1) and ~1.7x (Setup 2);");
+    println!(
+        "Expected shape (paper): filtering+DP speedup up to ~2.9x (Setup 1) and ~1.7x (Setup 2);"
+    );
     println!("overall speedup up to ~1.4x; the small 300bp set shows no overall speedup.");
 }

@@ -39,11 +39,7 @@ fn main() {
             }
         }
 
-        for (label, pick) in [
-            ("min", 0usize),
-            ("max", 1),
-            ("average", 2),
-        ] {
+        for (label, pick) in [("min", 0usize), ("max", 1), ("average", 2)] {
             let value = |idx: usize| -> f64 {
                 match pick {
                     0 => reports[idx].min_mw,

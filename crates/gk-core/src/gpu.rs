@@ -217,8 +217,12 @@ impl GateKeeperGpu {
         let mut prefetch_stream_reads = Stream::new("prefetch-reads");
         let mut prefetch_stream_refs = Stream::new("prefetch-refs");
         if self.device.supports_prefetch() {
-            let t_reads = memory.prefetch_to_device(reads_buffer).expect("valid buffer");
-            let t_refs = memory.prefetch_to_device(refs_buffer).expect("valid buffer");
+            let t_reads = memory
+                .prefetch_to_device(reads_buffer)
+                .expect("valid buffer");
+            let t_refs = memory
+                .prefetch_to_device(refs_buffer)
+                .expect("valid buffer");
             prefetch_stream_reads.enqueue("prefetch reads", t_reads);
             prefetch_stream_refs.enqueue("prefetch refs", t_refs);
             timing.transfer_seconds += t_reads + t_refs;
@@ -239,8 +243,12 @@ impl GateKeeperGpu {
         // On devices without prefetch support the kernel's first touch of each page
         // faults and migrates on demand; that cost lands in the kernel's critical
         // path but is accounted as transfer time here for reporting, as in §4.3.
-        let fault_reads = memory.access_from_device(reads_buffer).expect("valid buffer");
-        let fault_refs = memory.access_from_device(refs_buffer).expect("valid buffer");
+        let fault_reads = memory
+            .access_from_device(reads_buffer)
+            .expect("valid buffer");
+        let fault_refs = memory
+            .access_from_device(refs_buffer)
+            .expect("valid buffer");
         timing.transfer_seconds += fault_reads + fault_refs;
 
         let launch = self.system.launch_config(&self.device, batch.len());
@@ -262,7 +270,9 @@ impl GateKeeperGpu {
         );
 
         // Result read-back: the host touches the result buffer for verification.
-        let readback = memory.access_from_host(results_buffer).expect("valid buffer");
+        let readback = memory
+            .access_from_host(results_buffer)
+            .expect("valid buffer");
         timing.readback_seconds += readback;
 
         (decisions, timing)

@@ -63,7 +63,11 @@ pub struct MultiGpuGateKeeper {
 
 impl MultiGpuGateKeeper {
     /// Creates a multi-GPU filter over `device_count` copies of `device`.
-    pub fn new(device: DeviceSpec, device_count: usize, config: FilterConfig) -> MultiGpuGateKeeper {
+    pub fn new(
+        device: DeviceSpec,
+        device_count: usize,
+        config: FilterConfig,
+    ) -> MultiGpuGateKeeper {
         MultiGpuGateKeeper {
             context: MultiGpu::homogeneous(device, device_count),
             config,
@@ -118,7 +122,9 @@ impl MultiGpuGateKeeper {
             .sum();
         let device_side = per_device
             .iter()
-            .map(|r| r.timing.transfer_seconds + r.timing.kernel_seconds + r.timing.readback_seconds)
+            .map(|r| {
+                r.timing.transfer_seconds + r.timing.kernel_seconds + r.timing.readback_seconds
+            })
             .fold(0.0, f64::max);
         let filter_seconds = host_once + device_side;
 

@@ -330,7 +330,9 @@ mod tests {
     #[test]
     fn amendment_flips_short_flanked_zero_runs() {
         // 1 0 1  and  1 0 0 1 are flipped; 1 0 0 0 1 is not (run of 3 > 2).
-        let mut m = BaseMask::from_bools([true, false, true, false, false, true, false, false, false, true]);
+        let mut m = BaseMask::from_bools([
+            true, false, true, false, false, true, false, false, false, true,
+        ]);
         m.amend_short_zero_runs(2);
         assert_eq!(
             m,

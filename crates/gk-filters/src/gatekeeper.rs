@@ -383,8 +383,7 @@ mod tests {
             let len = 100;
             let e = rng.gen_range(0u32..=10);
             let reference = random_seq(len, &mut rng);
-            let read =
-                gk_seq::simulate::mutate_with_edits(&reference, e as usize, 0.3, &mut rng);
+            let read = gk_seq::simulate::mutate_with_edits(&reference, e as usize, 0.3, &mut rng);
             let true_distance = edit_distance(&read, &reference);
             if true_distance <= e {
                 let filter = GateKeeperGpuFilter::new(e);
@@ -410,10 +409,16 @@ mod tests {
             let edits = rng.gen_range(0usize..20);
             let read = gk_seq::simulate::mutate_with_edits(&reference, edits, 0.4, &mut rng);
             let e = rng.gen_range(1u32..=10);
-            if GateKeeperGpuFilter::new(e).filter_pair(&read, &reference).accepted {
+            if GateKeeperGpuFilter::new(e)
+                .filter_pair(&read, &reference)
+                .accepted
+            {
                 gpu_accepts += 1;
             }
-            if GateKeeperFpgaFilter::new(e).filter_pair(&read, &reference).accepted {
+            if GateKeeperFpgaFilter::new(e)
+                .filter_pair(&read, &reference)
+                .accepted
+            {
                 fpga_accepts += 1;
             }
         }

@@ -53,7 +53,7 @@ pub fn shift_left_bases(words: &[u32], bases: usize) -> Vec<u32> {
     let word_shift = bases / BASES_PER_WORD;
     let bit_shift = (bases % BASES_PER_WORD) * BITS_PER_BASE;
     let mut out = vec![0u32; words.len()];
-    for i in 0..words.len() {
+    for (i, slot) in out.iter_mut().enumerate() {
         let src = i + word_shift;
         if src >= words.len() {
             continue;
@@ -67,7 +67,7 @@ pub fn shift_left_bases(words: &[u32], bases: usize) -> Vec<u32> {
         if bit_shift != 0 && src + 1 < words.len() {
             value |= words[src + 1] >> (32 - bit_shift);
         }
-        out[i] = value;
+        *slot = value;
     }
     out
 }

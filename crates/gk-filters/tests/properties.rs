@@ -7,7 +7,7 @@
 use gk_align::edit_distance;
 use gk_filters::{
     GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
-    SneakySnakeFilter,
+    ShoujiFilter, SneakySnakeFilter,
 };
 use proptest::prelude::*;
 
@@ -15,11 +15,47 @@ fn dna(len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), len)
 }
 
+/// The filters that carry the paper's zero-false-reject guarantee for arbitrary
+/// edit mixes (§5.1.1). MAGNET is excluded by design (it is the one baseline
+/// documented to false-reject), and Shouji's guarantee only covers
+/// substitution-only pairs — see `shouji_has_no_false_rejects_on_substitutions`.
+fn sound_filters(e: u32) -> Vec<Box<dyn PreAlignmentFilter>> {
+    vec![
+        Box::new(GateKeeperGpuFilter::new(e)),
+        Box::new(GateKeeperFpgaFilter::new(e)),
+        Box::new(ShdFilter::new(e)),
+        Box::new(SneakySnakeFilter::new(e)),
+    ]
+}
+
+/// A pair differing from the reference by at most `max_subs` substitutions.
+fn substituted_pair(len: usize, max_subs: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        dna(len),
+        proptest::collection::vec(0usize..len, 0..=max_subs),
+    )
+        .prop_map(|(reference, positions)| {
+            let mut read = reference.clone();
+            for pos in positions {
+                read[pos] = match read[pos] {
+                    b'A' => b'C',
+                    b'C' => b'G',
+                    b'G' => b'T',
+                    _ => b'A',
+                };
+            }
+            (read, reference)
+        })
+}
+
 /// A pair built from a reference plus a scripted list of edits, so the true edit
 /// distance is bounded by construction.
 fn edited_pair(len: usize, max_edits: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    (dna(len), proptest::collection::vec((0usize..len, 0u8..3), 0..=max_edits)).prop_map(
-        move |(reference, edits)| {
+    (
+        dna(len),
+        proptest::collection::vec((0usize..len, 0u8..3), 0..=max_edits),
+    )
+        .prop_map(move |(reference, edits)| {
             let mut read = reference.clone();
             for (pos, kind) in edits {
                 let pos = pos.min(read.len().saturating_sub(1));
@@ -46,8 +82,7 @@ fn edited_pair(len: usize, max_edits: usize) -> impl Strategy<Value = (Vec<u8>, 
                 }
             }
             (read, reference)
-        },
-    )
+        })
 }
 
 proptest! {
@@ -122,6 +157,51 @@ proptest! {
         let fpga = GateKeeperFpgaFilter::new(e).filter_pair(&read, &reference);
         prop_assert_eq!(shd.accepted, fpga.accepted);
         prop_assert_eq!(shd.estimated_edits, fpga.estimated_edits);
+    }
+
+    /// The paper's central soundness claim, checked against the Myers bit-vector
+    /// oracle for every filter that carries the guarantee: if the true edit
+    /// distance is within the threshold, no sound pre-alignment filter rejects.
+    #[test]
+    fn no_sound_filter_ever_false_rejects((read, reference) in edited_pair(100, 10), e in 0u32..=12) {
+        let truth = edit_distance(&read, &reference);
+        if truth <= e {
+            for filter in sound_filters(e) {
+                let decision = filter.filter_pair(&read, &reference);
+                prop_assert!(
+                    decision.accepted,
+                    "{} false-rejected: truth = {truth}, e = {e}",
+                    filter.name()
+                );
+            }
+        }
+    }
+
+    /// The same soundness claim at 250 bp (multi-word masks, wider bands).
+    #[test]
+    fn no_sound_filter_ever_false_rejects_at_250bp((read, reference) in edited_pair(250, 14), e in 0u32..=20) {
+        let truth = edit_distance(&read, &reference);
+        if truth <= e {
+            for filter in sound_filters(e) {
+                let decision = filter.filter_pair(&read, &reference);
+                prop_assert!(
+                    decision.accepted,
+                    "{} false-rejected: truth = {truth}, e = {e}",
+                    filter.name()
+                );
+            }
+        }
+    }
+
+    /// Shouji's guarantee covers substitution-only pairs; within that domain it
+    /// must never reject a pair whose true edit distance is within threshold.
+    #[test]
+    fn shouji_has_no_false_rejects_on_substitutions((read, reference) in substituted_pair(100, 8), e in 0u32..=10) {
+        let truth = edit_distance(&read, &reference);
+        if truth <= e {
+            let decision = ShoujiFilter::new(e).filter_pair(&read, &reference);
+            prop_assert!(decision.accepted, "truth = {truth}, e = {e}");
+        }
     }
 
     /// The filter decision only depends on the pair contents (purity / determinism).

@@ -107,7 +107,6 @@ pub struct KernelStats {
     pub sm_efficiency: f64,
 }
 
-
 /// Launches a kernel: runs `body` once per thread (in parallel over blocks) and
 /// derives timing and utilisation statistics from the per-thread reports.
 pub fn launch_kernel<F>(
@@ -155,7 +154,11 @@ where
                     if report.active {
                         outcome.active_threads += 1;
                     }
-                    lane_cycles.push(if report.active { report.cycles.max(1) } else { 0 });
+                    lane_cycles.push(if report.active {
+                        report.cycles.max(1)
+                    } else {
+                        0
+                    });
                 }
                 // Warp execution efficiency: lanes of a warp execute in lockstep, so
                 // the warp is busy for the slowest lane's cycles; lanes that finish
@@ -272,7 +275,7 @@ mod tests {
 
     #[test]
     fn global_indices_are_unique_and_dense() {
-        use parking_lot::Mutex;
+        use std::sync::Mutex;
         let d = device();
         let config = LaunchConfig {
             grid_blocks: 3,
@@ -280,7 +283,7 @@ mod tests {
         };
         let seen = Mutex::new(vec![false; config.total_threads()]);
         launch_kernel(&d, &resources(&d), config, |ctx| {
-            let mut guard = seen.lock();
+            let mut guard = seen.lock().unwrap();
             assert!(!guard[ctx.global_idx], "duplicate index {}", ctx.global_idx);
             guard[ctx.global_idx] = true;
             ThreadReport {
@@ -288,7 +291,7 @@ mod tests {
                 active: true,
             }
         });
-        assert!(seen.lock().iter().all(|&s| s));
+        assert!(seen.lock().unwrap().iter().all(|&s| s));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod profiler;
 pub mod stream;
 
 pub use device::{Architecture, DeviceSpec, PcieLink};
-pub use executor::{launch_kernel, KernelResources, KernelStats, LaunchConfig, ThreadCtx, ThreadReport};
+pub use executor::{
+    launch_kernel, KernelResources, KernelStats, LaunchConfig, ThreadCtx, ThreadReport,
+};
 pub use memory::{MemAdvise, MemoryStats, UnifiedBuffer, UnifiedMemory};
 pub use multi::MultiGpu;
 pub use occupancy::{theoretical_occupancy, OccupancyLimit, OccupancyResult};

@@ -158,7 +158,8 @@ impl UnifiedMemory {
 
     /// Allocates a buffer of `size_bytes` (like `cudaMallocManaged`).
     pub fn alloc(&mut self, size_bytes: u64) -> Result<usize, MemoryError> {
-        let available = self.device.free_global_memory() - self.allocated_bytes.min(self.device.free_global_memory());
+        let available = self.device.free_global_memory()
+            - self.allocated_bytes.min(self.device.free_global_memory());
         if size_bytes > available {
             return Err(MemoryError::OutOfMemory {
                 requested: size_bytes,
@@ -383,7 +384,8 @@ mod tests {
     fn mem_advise_is_recorded_on_pascal_and_ignored_on_kepler() {
         let mut p = pascal();
         let id = p.alloc(PAGE_SIZE as u64).unwrap();
-        p.mem_advise(id, MemAdvise::PreferredLocationDevice).unwrap();
+        p.mem_advise(id, MemAdvise::PreferredLocationDevice)
+            .unwrap();
         assert_eq!(
             p.buffer(id).unwrap().advice,
             Some(MemAdvise::PreferredLocationDevice)
@@ -391,7 +393,8 @@ mod tests {
 
         let mut k = kepler();
         let id = k.alloc(PAGE_SIZE as u64).unwrap();
-        k.mem_advise(id, MemAdvise::PreferredLocationDevice).unwrap();
+        k.mem_advise(id, MemAdvise::PreferredLocationDevice)
+            .unwrap();
         assert_eq!(k.buffer(id).unwrap().advice, None);
     }
 

@@ -26,7 +26,10 @@ impl MultiGpu {
 
     /// Creates a context from an explicit device list.
     pub fn from_devices(devices: Vec<DeviceSpec>) -> MultiGpu {
-        assert!(!devices.is_empty(), "a multi-GPU context needs at least one device");
+        assert!(
+            !devices.is_empty(),
+            "a multi-GPU context needs at least one device"
+        );
         MultiGpu { devices }
     }
 
@@ -107,10 +110,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_contexts_keep_device_order() {
-        let ctx = MultiGpu::from_devices(vec![
-            DeviceSpec::gtx_1080_ti(),
-            DeviceSpec::tesla_k20x(),
-        ]);
+        let ctx = MultiGpu::from_devices(vec![DeviceSpec::gtx_1080_ti(), DeviceSpec::tesla_k20x()]);
         assert_eq!(ctx.device_count(), 2);
         assert_eq!(ctx.devices()[1].name, "Tesla K20X");
     }

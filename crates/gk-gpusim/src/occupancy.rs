@@ -77,11 +77,10 @@ pub fn theoretical_occupancy(device: &DeviceSpec, resources: &KernelResources) -
     let granularity = device.register_allocation_granularity.max(1);
     let regs_per_warp = regs_per_warp_raw.div_ceil(granularity) * granularity;
     let regs_per_block = regs_per_warp * warps_per_block;
-    let blocks_by_regs = if regs_per_block == 0 {
-        u32::MAX
-    } else {
-        device.registers_per_sm / regs_per_block
-    };
+    let blocks_by_regs = device
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
 
     // Warp-slot limit.
     let blocks_by_warps = device.max_warps_per_sm / warps_per_block.max(1);
@@ -90,11 +89,10 @@ pub fn theoretical_occupancy(device: &DeviceSpec, resources: &KernelResources) -
     let blocks_by_slots = device.max_blocks_per_sm;
 
     // Shared-memory limit.
-    let blocks_by_smem = if resources.shared_memory_per_block == 0 {
-        u32::MAX
-    } else {
-        device.shared_memory_per_sm / resources.shared_memory_per_block
-    };
+    let blocks_by_smem = device
+        .shared_memory_per_sm
+        .checked_div(resources.shared_memory_per_block)
+        .unwrap_or(u32::MAX);
 
     let candidates = [
         (blocks_by_regs, OccupancyLimit::Registers),

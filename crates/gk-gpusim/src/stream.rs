@@ -87,10 +87,7 @@ impl Event {
 /// slowest stream defines the wall-clock cost, the way the paper's multi-stream
 /// prefetching and multi-GPU kernel-time reporting work.
 pub fn parallel_completion_seconds(streams: &[Stream]) -> f64 {
-    streams
-        .iter()
-        .map(|s| s.synchronize())
-        .fold(0.0, f64::max)
+    streams.iter().map(|s| s.synchronize()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ impl KmerIndex {
 
     /// Builds an index with an explicit k-mer length (2–31).
     pub fn build_with_k(reference: &Reference, k: usize) -> KmerIndex {
-        assert!((2..=31).contains(&k), "k-mer length {k} out of range 2..=31");
+        assert!(
+            (2..=31).contains(&k),
+            "k-mer length {k} out of range 2..=31"
+        );
         let seq = &reference.sequence;
         let mut entries: HashMap<u64, Vec<u32>> = HashMap::new();
         if seq.len() >= k {
@@ -99,7 +102,11 @@ impl KmerIndex {
     /// Reference positions where the k-mer occurs (empty slice if absent or invalid).
     pub fn lookup(&self, kmer: &[u8]) -> &[u32] {
         match self.pack_kmer(kmer) {
-            Some(value) => self.entries.get(&value).map(|v| v.as_slice()).unwrap_or(&[]),
+            Some(value) => self
+                .entries
+                .get(&value)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]),
             None => &[],
         }
     }
@@ -165,7 +172,10 @@ mod tests {
             .values()
             .filter(|positions| positions.len() > 1)
             .count();
-        assert!(multi_hit > 0, "expected repeated k-mers in a repeat-rich genome");
+        assert!(
+            multi_hit > 0,
+            "expected repeated k-mers in a repeat-rich genome"
+        );
     }
 
     #[test]

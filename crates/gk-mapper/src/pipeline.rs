@@ -91,11 +91,7 @@ impl PreFilter {
     /// (kernel seconds, filter seconds).
     fn apply(&self, pairs: &PairSet) -> (Vec<FilterDecision>, f64, f64) {
         match self {
-            PreFilter::None => (
-                vec![FilterDecision::accept(0); pairs.len()],
-                0.0,
-                0.0,
-            ),
+            PreFilter::None => (vec![FilterDecision::accept(0); pairs.len()], 0.0, 0.0),
             PreFilter::Host(filter) => {
                 let start = Instant::now();
                 let decisions = filter.filter_batch(&pairs.pairs);
@@ -342,7 +338,11 @@ mod tests {
             .build()
     }
 
-    fn simulated_reads(reference: &Reference, count: usize, profile: ErrorProfile) -> Vec<FastqRecord> {
+    fn simulated_reads(
+        reference: &Reference,
+        count: usize,
+        profile: ErrorProfile,
+    ) -> Vec<FastqRecord> {
         ReadSimulator::new(100, profile)
             .seed(17)
             .simulate(reference, count)
@@ -475,8 +475,7 @@ mod tests {
         let reference = reference();
         let reads = simulated_reads(&reference, 90, ErrorProfile::illumina());
         let single = ReadMapper::new(reference.clone(), MapperConfig::new(2));
-        let batched =
-            ReadMapper::new(reference, MapperConfig::new(2).with_max_reads_per_batch(10));
+        let batched = ReadMapper::new(reference, MapperConfig::new(2).with_max_reads_per_batch(10));
         let a = single.map_reads(&reads, &PreFilter::None);
         let b = batched.map_reads(&reads, &PreFilter::None);
         assert_eq!(a.stats.mappings, b.stats.mappings);

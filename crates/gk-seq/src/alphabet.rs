@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn ambiguity_codes_collapse_to_n() {
-        for ch in [b'R', b'Y', b'S', b'W', b'K', b'M', b'B', b'D', b'H', b'V', b'N', b'-'] {
+        for ch in [
+            b'R', b'Y', b'S', b'W', b'K', b'M', b'B', b'D', b'H', b'V', b'N', b'-',
+        ] {
             assert_eq!(Base::from_ascii(ch), Base::N);
         }
     }

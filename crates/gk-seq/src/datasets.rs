@@ -77,10 +77,7 @@ impl EditDistribution {
                     }
                     roll -= w;
                 }
-                components
-                    .last()
-                    .map(|(_, d)| d.sample(rng))
-                    .unwrap_or(0)
+                components.last().map(|(_, d)| d.sample(rng)).unwrap_or(0)
             }
         }
     }
@@ -333,7 +330,11 @@ mod tests {
 
     #[test]
     fn generated_pairs_have_requested_read_length() {
-        for profile in [DatasetProfile::set3(), DatasetProfile::set7(), DatasetProfile::set11()] {
+        for profile in [
+            DatasetProfile::set3(),
+            DatasetProfile::set7(),
+            DatasetProfile::set11(),
+        ] {
             let set = profile.generate(200, 1);
             assert_eq!(set.len(), 200);
             assert!(set.pairs.iter().all(|p| p.read.len() == profile.read_len));
@@ -370,7 +371,10 @@ mod tests {
         profile.undefined_fraction = 0.05;
         let set = profile.generate(5_000, 3);
         let undefined = set.undefined_count();
-        assert!(undefined > 100 && undefined < 500, "undefined = {undefined}");
+        assert!(
+            undefined > 100 && undefined < 500,
+            "undefined = {undefined}"
+        );
     }
 
     #[test]

@@ -89,7 +89,10 @@ impl fmt::Display for FastqError {
             FastqError::BadHeader { line } => write!(f, "line {line}: expected '@' header"),
             FastqError::BadSeparator { line } => write!(f, "line {line}: expected '+' separator"),
             FastqError::LengthMismatch { id } => {
-                write!(f, "record {id}: quality length differs from sequence length")
+                write!(
+                    f,
+                    "record {id}: quality length differs from sequence length"
+                )
             }
             FastqError::TruncatedRecord { id } => match id {
                 Some(id) => write!(f, "record {id}: truncated"),
@@ -113,11 +116,8 @@ pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<FastqRecord>, FastqError> {
     let mut lines = reader.lines().enumerate();
     let mut records = Vec::new();
 
-    loop {
-        let (idx, header) = match lines.next() {
-            Some((idx, line)) => (idx, line?),
-            None => break,
-        };
+    while let Some((idx, line)) = lines.next() {
+        let header = line?;
         let header = header.trim_end();
         if header.is_empty() {
             continue;

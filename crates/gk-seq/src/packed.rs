@@ -74,7 +74,7 @@ impl PackedSeq {
         let needed = Self::words_for_len(len);
         words.resize(needed, 0);
         // Zero the padding slots so equality and hashing are canonical.
-        if len % BASES_PER_WORD != 0 {
+        if !len.is_multiple_of(BASES_PER_WORD) {
             let used_bits = (len % BASES_PER_WORD) * BITS_PER_BASE;
             let mask = if used_bits == 0 {
                 0
@@ -135,7 +135,11 @@ impl PackedSeq {
     /// Panics if `pos >= self.len()`.
     #[inline]
     pub fn code_at(&self, pos: usize) -> u8 {
-        assert!(pos < self.len, "position {pos} out of range (len {})", self.len);
+        assert!(
+            pos < self.len,
+            "position {pos} out of range (len {})",
+            self.len
+        );
         let word = self.words[pos / BASES_PER_WORD];
         let slot = pos % BASES_PER_WORD;
         let shift = (BASES_PER_WORD - 1 - slot) * BITS_PER_BASE;
@@ -184,7 +188,7 @@ impl PackedSeq {
         let mut total = 0u32;
         for (i, (&a, &b)) in self.words.iter().zip(other.words.iter()).enumerate() {
             let mut diff = a ^ b;
-            if i == self.words.len() - 1 && self.len % BASES_PER_WORD != 0 {
+            if i == self.words.len() - 1 && !self.len.is_multiple_of(BASES_PER_WORD) {
                 let used_bits = (self.len % BASES_PER_WORD) * BITS_PER_BASE;
                 diff &= !0u32 << (32 - used_bits);
             }

@@ -303,10 +303,7 @@ mod tests {
 
     #[test]
     fn builder_plants_n_gaps() {
-        let r = ReferenceBuilder::new(50_000)
-            .seed(3)
-            .n_gaps(3, 200)
-            .build();
+        let r = ReferenceBuilder::new(50_000).seed(3).n_gaps(3, 200).build();
         assert!(r.n_fraction() > 0.0);
         assert!(!r.n_intervals.is_empty());
     }

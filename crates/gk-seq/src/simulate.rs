@@ -293,7 +293,10 @@ mod tests {
     use crate::reference::ReferenceBuilder;
 
     fn test_reference() -> Reference {
-        ReferenceBuilder::new(100_000).seed(42).n_gaps(1, 300).build()
+        ReferenceBuilder::new(100_000)
+            .seed(42)
+            .n_gaps(1, 300)
+            .build()
     }
 
     #[test]
@@ -355,7 +358,10 @@ mod tests {
             .simulate(&reference, 200);
         let dels: u32 = reads.iter().map(|r| r.deletions).sum();
         let ins: u32 = reads.iter().map(|r| r.insertions).sum();
-        assert!(dels > ins, "expected deletions ({dels}) > insertions ({ins})");
+        assert!(
+            dels > ins,
+            "expected deletions ({dels}) > insertions ({ins})"
+        );
     }
 
     #[test]
@@ -365,10 +371,7 @@ mod tests {
             .seed(6)
             .reverse_fraction(0.0)
             .simulate(&reference, 200);
-        let with_n = reads
-            .iter()
-            .filter(|r| r.sequence.iter().any(|&b| b == b'N'))
-            .count();
+        let with_n = reads.iter().filter(|r| r.sequence.contains(&b'N')).count();
         // Rejection sampling makes N reads rare (not impossible when gaps are dense).
         assert!(with_n < reads.len() / 10);
     }

@@ -1,0 +1,209 @@
+//! Integration round-trips across the gk-seq modules: FASTA/FASTQ render↔parse
+//! (in memory and through files), 2-bit packing with `N` handling, and the
+//! determinism contract of the read simulator — the properties the rest of the
+//! workspace assumes when it moves sequences between text, packed, and
+//! simulated representations.
+
+use gk_seq::fasta::{read_fasta, read_fasta_file, write_fasta, write_fasta_file, FastaRecord};
+use gk_seq::fastq::{read_fastq, read_fastq_file, write_fastq, write_fastq_file, FastqRecord};
+use gk_seq::reference::{Reference, ReferenceBuilder};
+use gk_seq::simulate::{ErrorProfile, ReadSimulator};
+use gk_seq::PackedSeq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dna(len: usize, allow_n: bool, rng: &mut StdRng) -> Vec<u8> {
+    let alphabet: &[u8] = if allow_n { b"ACGTN" } else { b"ACGT" };
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("gk-seq-roundtrip-{}-{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn fasta_write_then_read_is_identity_across_wrap_widths() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let records: Vec<FastaRecord> = (0..8)
+        .map(|i| {
+            let mut rec =
+                FastaRecord::new(format!("chr{i}"), random_dna(137 + 31 * i, true, &mut rng));
+            if i % 2 == 0 {
+                rec.description = Some(format!("simulated contig {i}"));
+            }
+            rec
+        })
+        .collect();
+
+    for width in [1usize, 7, 60, 70, 10_000] {
+        let mut buffer = Vec::new();
+        write_fasta(&mut buffer, &records, width).unwrap();
+        let parsed = read_fasta(buffer.as_slice()).unwrap();
+        assert_eq!(parsed, records, "round-trip failed at wrap width {width}");
+    }
+}
+
+#[test]
+fn fasta_file_round_trip_preserves_records() {
+    let records = vec![
+        FastaRecord::new("ref1", b"ACGTACGTNNACGT".to_vec()),
+        FastaRecord::new("ref2", b"TTTTGGGGCCCCAAAA".to_vec()),
+    ];
+    let path = temp_path("genome.fa");
+    write_fasta_file(&path, &records).unwrap();
+    let parsed = read_fasta_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn fasta_parser_handles_blank_lines_and_descriptions() {
+    let text = b">chr1 primary assembly\nACGT\n\nACGT\n>chr2\nTTTT\n";
+    let parsed = read_fasta(&text[..]).unwrap();
+    assert_eq!(parsed.len(), 2);
+    assert_eq!(parsed[0].id, "chr1");
+    assert_eq!(parsed[0].description.as_deref(), Some("primary assembly"));
+    assert_eq!(parsed[0].sequence, b"ACGTACGT");
+    assert_eq!(parsed[1].id, "chr2");
+    assert_eq!(parsed[1].description, None);
+}
+
+#[test]
+fn fastq_write_then_read_is_identity() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let records: Vec<FastqRecord> = (0..16)
+        .map(|i| {
+            FastqRecord::with_uniform_quality(format!("read{i}"), random_dna(100, true, &mut rng))
+        })
+        .collect();
+
+    let mut buffer = Vec::new();
+    write_fastq(&mut buffer, &records).unwrap();
+    let parsed = read_fastq(buffer.as_slice()).unwrap();
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn fastq_file_round_trip_preserves_records() {
+    let records = vec![
+        FastqRecord::with_uniform_quality("r1", b"ACGTNACGT".to_vec()),
+        FastqRecord::with_uniform_quality("r2", b"GGGGCCCC".to_vec()),
+    ];
+    let path = temp_path("reads.fq");
+    write_fastq_file(&path, &records).unwrap();
+    let parsed = read_fastq_file(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(parsed, records);
+}
+
+#[test]
+fn packed_round_trip_preserves_acgt_content() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for len in [0usize, 1, 15, 16, 17, 100, 250, 333] {
+        let seq = random_dna(len, false, &mut rng);
+        let packed = PackedSeq::from_ascii(&seq);
+        assert_eq!(packed.len(), len);
+        assert!(!packed.is_undefined());
+        assert_eq!(
+            packed.to_ascii(),
+            seq,
+            "ASCII round-trip failed at length {len}"
+        );
+    }
+}
+
+#[test]
+fn packed_round_trip_marks_and_restores_n_positions() {
+    let mut rng = StdRng::seed_from_u64(14);
+    for _ in 0..32 {
+        let seq = random_dna(120, true, &mut rng);
+        let packed = PackedSeq::from_ascii(&seq);
+        let n_positions: Vec<u32> = seq
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'N')
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(packed.is_undefined(), !n_positions.is_empty());
+        assert_eq!(packed.undefined_positions(), n_positions.as_slice());
+        assert_eq!(packed.to_ascii(), seq, "N round-trip changed the sequence");
+    }
+}
+
+#[test]
+fn reference_to_fasta_and_back_preserves_n_intervals() {
+    let reference = ReferenceBuilder::new(50_000)
+        .seed(21)
+        .n_gaps(3, 100)
+        .build();
+    assert!(reference.n_fraction() > 0.0);
+
+    let rebuilt = Reference::from_fasta(&reference.to_fasta());
+    assert_eq!(rebuilt.sequence, reference.sequence);
+    assert_eq!(rebuilt.n_intervals, reference.n_intervals);
+}
+
+#[test]
+fn simulator_is_deterministic_for_a_fixed_seed() {
+    let reference = ReferenceBuilder::new(40_000).seed(31).build();
+    let simulate = || {
+        ReadSimulator::new(100, ErrorProfile::illumina())
+            .seed(77)
+            .simulate(&reference, 500)
+    };
+    let first = simulate();
+    let second = simulate();
+
+    assert_eq!(first.len(), 500);
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.origin, b.origin);
+        assert_eq!(a.reverse_strand, b.reverse_strand);
+        assert_eq!(a.planted_edits(), b.planted_edits());
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_read_sets() {
+    let reference = ReferenceBuilder::new(40_000).seed(31).build();
+    let reads_a = ReadSimulator::new(100, ErrorProfile::illumina())
+        .seed(1)
+        .simulate(&reference, 200);
+    let reads_b = ReadSimulator::new(100, ErrorProfile::illumina())
+        .seed(2)
+        .simulate(&reference, 200);
+    let differing = reads_a
+        .iter()
+        .zip(reads_b.iter())
+        .filter(|(a, b)| a.sequence != b.sequence)
+        .count();
+    assert!(
+        differing > 150,
+        "only {differing}/200 reads differed between seeds"
+    );
+}
+
+#[test]
+fn simulated_reads_survive_a_fastq_round_trip() {
+    let reference = ReferenceBuilder::new(40_000).seed(41).build();
+    let reads = ReadSimulator::new(150, ErrorProfile::low_indel())
+        .seed(5)
+        .simulate(&reference, 64);
+
+    let records: Vec<FastqRecord> = reads.iter().map(|r| r.to_fastq()).collect();
+    let mut buffer = Vec::new();
+    write_fastq(&mut buffer, &records).unwrap();
+    let parsed = read_fastq(buffer.as_slice()).unwrap();
+
+    assert_eq!(parsed.len(), reads.len());
+    for (record, read) in parsed.iter().zip(reads.iter()) {
+        assert_eq!(record.id, read.id);
+        assert_eq!(record.sequence, read.sequence);
+        assert_eq!(record.quality.len(), record.sequence.len());
+    }
+}

@@ -34,8 +34,12 @@ fn main() {
         "filter", "false accepts", "false rejects", "true rejects", "false accept %"
     );
     for filter in &filters {
-        let report =
-            evaluate_with_truth(filter.as_ref(), &pairs, &truth, UndefinedPolicy::CountAsAccepted);
+        let report = evaluate_with_truth(
+            filter.as_ref(),
+            &pairs,
+            &truth,
+            UndefinedPolicy::CountAsAccepted,
+        );
         println!(
             "{:<18} {:>14} {:>14} {:>14} {:>15.2}%",
             report.filter,
@@ -47,6 +51,8 @@ fn main() {
     }
 
     println!();
-    println!("Expected ordering (paper): SneakySnake and MAGNET are the most accurate, then Shouji,");
+    println!(
+        "Expected ordering (paper): SneakySnake and MAGNET are the most accurate, then Shouji,"
+    );
     println!("then GateKeeper-GPU, with GateKeeper-FPGA/SHD last; only MAGNET ever false-rejects.");
 }

@@ -36,7 +36,11 @@ fn main() {
     }
 
     println!();
-    println!("Expected shape (paper, Figure 8): kernel-time throughput grows almost linearly with the");
-    println!("device count; filter-time throughput grows much more slowly because host-side preparation");
+    println!(
+        "Expected shape (paper, Figure 8): kernel-time throughput grows almost linearly with the"
+    );
+    println!(
+        "device count; filter-time throughput grows much more slowly because host-side preparation"
+    );
     println!("and the shared PCIe complex do not scale with the number of GPUs.");
 }

@@ -29,7 +29,10 @@ fn main() {
     println!("rejected            : {}", run.rejected());
     println!("kernel time (model) : {:.6} s", run.kernel_seconds());
     println!("filter time (model) : {:.6} s", run.filter_seconds());
-    println!("achieved occupancy  : {:.1} %", run.achieved_occupancy * 100.0);
+    println!(
+        "achieved occupancy  : {:.1} %",
+        run.achieved_occupancy * 100.0
+    );
 
     // Spot-check a few decisions against the exact edit distance (Edlib-equivalent).
     let mut false_rejects = 0;

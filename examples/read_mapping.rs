@@ -47,11 +47,17 @@ fn main() {
             stats.rejected_pairs,
             stats.reduction_fraction() * 100.0
         );
-        println!("  verification time   : {:.3} s", stats.verification_seconds);
+        println!(
+            "  verification time   : {:.3} s",
+            stats.verification_seconds
+        );
         println!("  total time          : {:.3} s\n", stats.total_seconds);
     };
 
-    print("mrFAST-like mapper, no pre-alignment filter", &unfiltered.stats);
+    print(
+        "mrFAST-like mapper, no pre-alignment filter",
+        &unfiltered.stats,
+    );
     print("mrFAST-like mapper + GateKeeper-GPU", &filtered.stats);
 
     assert_eq!(

@@ -1,0 +1,226 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no registry access, so this crate exposes rayon's
+//! `par_iter` / `into_par_iter` / `par_iter_mut` entry points but executes
+//! sequentially: each method simply returns the corresponding `std` iterator,
+//! so every downstream combinator (`map`, `zip`, `collect`, …) is the standard
+//! library's. Results are bit-identical to a real parallel run because the
+//! workspace only uses order-preserving combinators; only wall-clock parallelism
+//! is lost. Swap in the real crate via `[workspace.dependencies]` to get it back.
+
+pub mod iter {
+    /// Sequential stand-in for rayon's parallel iterators.
+    ///
+    /// Inherent methods reproduce the rayon-specific signatures (notably
+    /// `reduce(identity, op)`); anything not defined here falls through to the
+    /// delegating [`Iterator`] impl, so the full std combinator set is usable.
+    pub struct ParIter<I>(I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+
+        pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter(self.0.filter_map(f))
+        }
+
+        pub fn flat_map<R: IntoIterator, F: FnMut(I::Item) -> R>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, R, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter(self.0.enumerate())
+        }
+
+        pub fn zip<Z: IntoParallelIterator>(
+            self,
+            other: Z,
+        ) -> ParIter<std::iter::Zip<I, <Z::Iter as IntoIterator>::IntoIter>>
+        where
+            Z::Iter: IntoIterator<Item = Z::Item>,
+        {
+            ParIter(self.0.zip(other.into_par_iter()))
+        }
+
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Rayon-style reduce: identity element plus associative combiner.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+
+    /// By-value conversion, mirroring `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: IntoIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = ParIter<I::IntoIter>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Shared-reference conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: IntoIterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        C: 'data,
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: 'data,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = ParIter<<&'data C as IntoIterator>::IntoIter>;
+        fn par_iter(&'data self) -> Self::Iter {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Mutable-reference conversion, mirroring `rayon::iter::IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: IntoIterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        C: 'data,
+        &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: 'data,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = ParIter<<&'data mut C as IntoIterator>::IntoIter>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; the sequential pool cannot fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sequential rayon shim thread pool cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the (sequential) thread pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A pool that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Mirrors `rayon::current_num_threads`; the shim is single-threaded.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Mirrors `rayon::join`, executing both closures sequentially.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (oper_a(), oper_b())
+}

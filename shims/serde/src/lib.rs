@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait and derive-macro
+//! namespaces, mirroring the real crate) so seed sources compile unchanged in
+//! an environment without registry access. The derives expand to nothing and
+//! the traits carry no methods; swap this shim for the real crate by editing
+//! `[workspace.dependencies]` once the network is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -2,7 +2,9 @@
 //! simulation through seeding, pre-alignment filtering on the simulated GPU, and
 //! verification — the paper's whole-genome workflow end to end.
 
-use gatekeeper_gpu::core::{EncodingActor, FilterConfig, GateKeeperCpu, GateKeeperGpu, MultiGpuGateKeeper};
+use gatekeeper_gpu::core::{
+    EncodingActor, FilterConfig, GateKeeperCpu, GateKeeperGpu, MultiGpuGateKeeper,
+};
 use gatekeeper_gpu::filters::{GateKeeperGpuFilter, PreAlignmentFilter, SneakySnakeFilter};
 use gatekeeper_gpu::gpusim::DeviceSpec;
 use gatekeeper_gpu::mapper::{MapperConfig, PreFilter, ReadMapper};
@@ -100,7 +102,10 @@ fn alternative_host_filters_plug_into_the_mapper() {
         .collect();
     let mapper = ReadMapper::new(reference, MapperConfig::new(2));
     let baseline = mapper.map_reads(&reads, &PreFilter::None);
-    let snake = mapper.map_reads(&reads, &PreFilter::Host(Box::new(SneakySnakeFilter::new(2))));
+    let snake = mapper.map_reads(
+        &reads,
+        &PreFilter::Host(Box::new(SneakySnakeFilter::new(2))),
+    );
     assert_eq!(baseline.stats.mappings, snake.stats.mappings);
     assert!(snake.stats.verification_pairs <= baseline.stats.verification_pairs);
 }
