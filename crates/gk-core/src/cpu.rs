@@ -11,9 +11,10 @@
 use crate::timing::TimingBreakdown;
 use gk_filters::gatekeeper::{gatekeeper_kernel, GateKeeperConfig};
 use gk_filters::traits::FilterDecision;
-use gk_seq::pairs::PairSet;
+use gk_seq::pairs::{encode_pair_batch, PairSet};
 use gk_seq::PackedSeq;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of a CPU filtering run.
@@ -48,21 +49,33 @@ impl CpuFilterRun {
 }
 
 /// The multicore CPU implementation of the improved GateKeeper filter.
+///
+/// The worker pool is built once at construction and shared by every
+/// `filter_set` call (and by clones), so repeated batches pay no thread-spawn
+/// cost; with `threads == 1` the pool is the sequential fallback and the run
+/// doubles as the determinism reference for the parallel paths.
 #[derive(Debug, Clone)]
 pub struct GateKeeperCpu {
     threshold: u32,
     threads: usize,
     kernel_config: GateKeeperConfig,
+    pool: Arc<rayon::ThreadPool>,
 }
 
 impl GateKeeperCpu {
     /// Creates a CPU filter with the given error threshold and worker-thread count
     /// (the paper reports 1 and 12 cores).
     pub fn new(threshold: u32, threads: usize) -> GateKeeperCpu {
+        let threads = threads.max(1);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build CPU filtering thread pool");
         GateKeeperCpu {
             threshold,
-            threads: threads.max(1),
+            threads,
             kernel_config: GateKeeperConfig::gpu(threshold),
+            pool: Arc::new(pool),
         }
     }
 
@@ -78,31 +91,15 @@ impl GateKeeperCpu {
 
     /// Filters a whole pair set, measuring encoding and filtering separately.
     pub fn filter_set(&self, pairs: &PairSet) -> CpuFilterRun {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.threads)
-            .build()
-            .expect("failed to build CPU filtering thread pool");
-
         let start = Instant::now();
         // Encoding phase (the CPU always encodes on the host).
-        let encoded: Vec<(PackedSeq, PackedSeq)> = pool.install(|| {
-            use rayon::prelude::*;
-            pairs
-                .pairs
-                .par_iter()
-                .map(|p| {
-                    (
-                        PackedSeq::from_ascii(&p.read),
-                        PackedSeq::from_ascii(&p.reference),
-                    )
-                })
-                .collect()
-        });
+        let encoded: Vec<(PackedSeq, PackedSeq)> =
+            self.pool.install(|| encode_pair_batch(&pairs.pairs));
         let encode_done = Instant::now();
 
         // Filtering phase: the GateKeeper algorithm proper.
         let config = self.kernel_config;
-        let decisions: Vec<FilterDecision> = pool.install(|| {
+        let decisions: Vec<FilterDecision> = self.pool.install(|| {
             use rayon::prelude::*;
             encoded
                 .par_iter()

@@ -25,7 +25,7 @@ use gk_gpusim::memory::{MemAdvise, MemoryStats, UnifiedMemory};
 use gk_gpusim::power::PowerReport;
 use gk_gpusim::profiler::Profiler;
 use gk_gpusim::stream::Stream;
-use gk_seq::pairs::{PairSet, SequencePair};
+use gk_seq::pairs::{encode_pair_batch, PairSet, SequencePair};
 use gk_seq::PackedSeq;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -177,15 +177,7 @@ impl GateKeeperGpu {
         // Encoding. Functionally we always need the packed form to run the kernel;
         // the *time* is attributed to the host only in host-encoded mode (in
         // device-encoded mode the cost appears as extra kernel cycles instead).
-        let encoded: Vec<(PackedSeq, PackedSeq)> = batch
-            .par_iter()
-            .map(|p| {
-                (
-                    PackedSeq::from_ascii(&p.read),
-                    PackedSeq::from_ascii(&p.reference),
-                )
-            })
-            .collect();
+        let encoded: Vec<(PackedSeq, PackedSeq)> = encode_pair_batch(batch);
         if self.config.encoding == EncodingActor::Host {
             let bases = 2.0 * batch.len() as f64 * self.config.read_len as f64;
             timing.encode_seconds = bases / HOST_ENCODE_BASES_PER_SECOND;

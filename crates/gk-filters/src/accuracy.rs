@@ -91,7 +91,8 @@ impl AccuracyReport {
     }
 }
 
-/// Computes the ground-truth edit distance of every pair in parallel. Reusable
+/// Computes the ground-truth edit distance of every pair across the worker pool
+/// (order-preserving, so the vector is identical to a sequential pass). Reusable
 /// across filters and thresholds, which is how the benchmark harness amortises the
 /// expensive exact computation.
 pub fn ground_truth_distances(pairs: &PairSet) -> Vec<u32> {

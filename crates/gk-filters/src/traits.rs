@@ -60,8 +60,9 @@ pub trait PreAlignmentFilter: Sync {
     fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision;
 
     /// Filters a batch of pairs in parallel. The default implementation fans the
-    /// pairs out with Rayon, which is also how the multicore GateKeeper-CPU
-    /// baseline of the paper is organised.
+    /// pairs out across the work-stealing pool (chunked, order-preserving — the
+    /// decisions vector is identical to a sequential pass), which is also how
+    /// the multicore GateKeeper-CPU baseline of the paper is organised.
     fn filter_batch(&self, pairs: &[SequencePair]) -> Vec<FilterDecision> {
         pairs
             .par_iter()

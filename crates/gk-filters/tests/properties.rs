@@ -9,7 +9,9 @@ use gk_filters::{
     GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
     ShoujiFilter, SneakySnakeFilter,
 };
+use gk_seq::pairs::SequencePair;
 use proptest::prelude::*;
+use rayon::slice::ParallelSlice;
 
 fn dna(len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), len)
@@ -211,5 +213,50 @@ proptest! {
         let a = filter.filter_pair(&read, &reference);
         let b = filter.filter_pair(&read, &reference);
         prop_assert_eq!(a, b);
+    }
+
+    /// Chunked parallel processing reassembles to the sequential result for
+    /// arbitrary chunk sizes and input lengths: running `filter_batch` per
+    /// `par_chunks` chunk and concatenating equals one whole-batch call.
+    #[test]
+    fn par_chunks_filter_batch_reassembles_to_sequential(
+        raw_pairs in proptest::collection::vec(edited_pair(48, 6), 0..24),
+        chunk_size in 1usize..10,
+        e in 0u32..=6,
+    ) {
+        let pairs: Vec<SequencePair> = raw_pairs
+            .into_iter()
+            .map(|(read, reference)| SequencePair::new(read, reference))
+            .collect();
+        let filter = GateKeeperGpuFilter::new(e);
+        let whole = filter.filter_batch(&pairs);
+        let chunked: Vec<_> = pairs
+            .par_chunks(chunk_size)
+            .flat_map(|chunk| filter.filter_batch(chunk))
+            .collect();
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// The same reassembly property over plain data: a chunked parallel map
+    /// concatenates to the sequential element-wise map, for any chunk size and
+    /// any input length (including empty and chunk > len).
+    #[test]
+    fn par_chunks_map_reassembly_matches_sequential(
+        data in proptest::collection::vec(0u32..10_000, 0..300),
+        chunk_size in 1usize..40,
+    ) {
+        let parallel: Vec<u64> = data
+            .par_chunks(chunk_size)
+            .flat_map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&x| u64::from(x) * 31 + 7)
+                    .collect::<Vec<u64>>()
+            })
+            .collect();
+        let sequential: Vec<u64> = data.iter().map(|&x| u64::from(x) * 31 + 7).collect();
+        prop_assert_eq!(parallel, sequential);
+        let chunk_count = data.par_chunks(chunk_size).count();
+        prop_assert_eq!(chunk_count, data.len().div_ceil(chunk_size));
     }
 }

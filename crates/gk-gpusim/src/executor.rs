@@ -5,7 +5,9 @@
 //! possible dependency between the threads for high filtering throughput" (§3.1).
 //! The simulator keeps that structure: the caller supplies a closure that plays the
 //! role of the device function, the launcher enumerates the grid, groups threads
-//! into 32-wide warps and runs the blocks in parallel on the host with Rayon. Each
+//! into 32-wide warps and fans the blocks out across the host's work-stealing
+//! thread pool (ordered chunks of blocks become stealable tasks, so the derived
+//! statistics are identical to a sequential launch). Each
 //! thread reports how much device work it performed (in modelled cycles) and
 //! whether it was active at all; from those reports the launcher derives
 //!

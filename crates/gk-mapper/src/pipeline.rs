@@ -170,6 +170,10 @@ pub struct MappingOutcome {
     pub stats: MappingStats,
 }
 
+/// One read's contribution to a filter batch: the candidate pairs plus, for
+/// each pair, the (read index, candidate location) it came from.
+type ReadCandidates = (Vec<SequencePair>, Vec<(usize, CandidateLocation)>);
+
 /// The seed-and-extend read mapper.
 pub struct ReadMapper {
     reference: Reference,
@@ -227,33 +231,49 @@ impl ReadMapper {
             return;
         }
 
-        // Preprocessing: seeding + candidate segment extraction + buffer filling.
+        // Preprocessing: seeding + candidate segment extraction + buffer filling,
+        // fanned out per read in a single parallel pass (seeding, segment copies
+        // and reverse-complement orientation are all per-read independent). The
+        // flatten below walks the per-read results in read order, so the batch
+        // is identical to a sequential build.
         let prep_start = Instant::now();
-        let per_read_candidates: Vec<Vec<CandidateLocation>> = reads
+        let per_read: Vec<ReadCandidates> = reads
             .par_iter()
-            .map(|read| candidates_for_read(&read.sequence, &self.index, &self.config.seeding))
+            .enumerate()
+            .map(|(read_idx, read)| {
+                let candidates =
+                    candidates_for_read(&read.sequence, &self.index, &self.config.seeding);
+                let mut read_pairs = Vec::with_capacity(candidates.len());
+                let mut owners = Vec::with_capacity(candidates.len());
+                // Computed at most once per read, shared by all its
+                // reverse-strand candidates.
+                let mut reverse_read: Option<Vec<u8>> = None;
+                for candidate in candidates {
+                    let segment = self
+                        .reference
+                        .segment(candidate.position as usize, read.sequence.len());
+                    if segment.len() < read.sequence.len() {
+                        continue;
+                    }
+                    let oriented_read = if candidate.reverse {
+                        reverse_read
+                            .get_or_insert_with(|| reverse_complement(&read.sequence))
+                            .clone()
+                    } else {
+                        read.sequence.clone()
+                    };
+                    read_pairs.push(SequencePair::new(oriented_read, segment.to_vec()));
+                    owners.push((read_idx, candidate));
+                }
+                (read_pairs, owners)
+            })
             .collect();
 
-        // Flatten into the pair buffers, remembering which read each pair belongs to.
-        let mut pair_owner: Vec<(usize, CandidateLocation)> = Vec::new();
         let mut pairs: Vec<SequencePair> = Vec::new();
-        for (read_idx, candidates) in per_read_candidates.iter().enumerate() {
-            let read = &reads[read_idx];
-            for candidate in candidates {
-                let segment = self
-                    .reference
-                    .segment(candidate.position as usize, read.sequence.len());
-                if segment.len() < read.sequence.len() {
-                    continue;
-                }
-                let oriented_read = if candidate.reverse {
-                    reverse_complement(&read.sequence)
-                } else {
-                    read.sequence.clone()
-                };
-                pairs.push(SequencePair::new(oriented_read, segment.to_vec()));
-                pair_owner.push((read_idx, *candidate));
-            }
+        let mut pair_owner: Vec<(usize, CandidateLocation)> = Vec::new();
+        for (read_pairs, owners) in per_read {
+            pairs.extend(read_pairs);
+            pair_owner.extend(owners);
         }
         let pair_set = PairSet::new("mapper batch", read_len, pairs);
         stats.preprocessing_seconds += prep_start.elapsed().as_secs_f64();

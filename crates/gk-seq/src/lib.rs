@@ -39,6 +39,6 @@ pub mod simulate;
 
 pub use alphabet::{complement, decode_base, encode_base, is_valid_base, Base};
 pub use packed::PackedSeq;
-pub use pairs::{PairSet, SequencePair};
+pub use pairs::{encode_pair_batch, PairSet, SequencePair};
 pub use reference::{Reference, ReferenceBuilder};
 pub use simulate::{ErrorProfile, ReadSimulator, SimulatedRead};

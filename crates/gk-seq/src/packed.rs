@@ -224,9 +224,11 @@ impl fmt::Display for PackedSeq {
     }
 }
 
-/// Encodes a batch of ASCII sequences in parallel using Rayon. This is the
+/// Encodes a batch of ASCII sequences across the worker pool. This is the
 /// "encoding in host" path of the paper (§3.3): the CPU packs the reads before they
-/// are copied to the device.
+/// are copied to the device. Output order matches input order, so the result is
+/// identical to a sequential `seqs.iter().map(PackedSeq::from_ascii)` pass;
+/// set `RAYON_NUM_THREADS=1` to force that sequential fallback.
 pub fn encode_batch_parallel(seqs: &[&[u8]]) -> Vec<PackedSeq> {
     use rayon::prelude::*;
     seqs.par_iter().map(|s| PackedSeq::from_ascii(s)).collect()

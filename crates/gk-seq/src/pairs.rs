@@ -111,6 +111,16 @@ impl PairSet {
     }
 }
 
+/// Packs every pair into the 2-bit device representation, fanning the batch
+/// out across the thread pool. This is the host-side encoding stage shared by
+/// the GPU system (host-encoding actor, §3.3) and the multicore CPU baseline;
+/// output order matches input order exactly, so results are identical to a
+/// sequential `pairs.iter().map(|p| p.packed())` pass.
+pub fn encode_pair_batch(pairs: &[SequencePair]) -> Vec<(PackedSeq, PackedSeq)> {
+    use rayon::prelude::*;
+    pairs.par_iter().map(|p| p.packed()).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,19 @@
+//! Parallel slice extensions, mirroring `rayon::slice::ParallelSlice`.
+
+use crate::iter::ParIter;
+
+/// Parallel chunking of slices: `par_chunks(n)` yields `&[T]` windows of up
+/// to `n` elements, in order, processed across the pool like any other
+/// parallel iterator.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel equivalent of `slice::chunks`: every chunk has `chunk_size`
+    /// elements except possibly the last. Panics if `chunk_size` is zero.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size != 0, "par_chunks: chunk size must be non-zero");
+        ParIter::from_vec(self.chunks(chunk_size).collect())
+    }
+}

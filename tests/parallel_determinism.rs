@@ -1,0 +1,193 @@
+//! Determinism suite for every parallelized host-side path.
+//!
+//! The rayon shim executes combinators eagerly over ordered chunks, so every
+//! wired path — 2-bit batch encoding, the multicore CPU filter baseline, the
+//! accuracy sweep, the simulated kernel launch, and mapper candidate
+//! construction + verification — must produce output **byte-identical** to the
+//! sequential fallback. Each test runs the parallel version on the global pool
+//! and the reference version inside a one-thread pool (the shim's sequential
+//! fallback, the same mode `RAYON_NUM_THREADS=1` selects), across several
+//! seeded random batches.
+
+use gatekeeper_gpu::core::cpu::GateKeeperCpu;
+use gatekeeper_gpu::core::{EncodingActor, FilterConfig, GateKeeperGpu};
+use gatekeeper_gpu::filters::accuracy::{evaluate_filter, ground_truth_distances, UndefinedPolicy};
+use gatekeeper_gpu::filters::{
+    GateKeeperGpuFilter, PreAlignmentFilter, ShdFilter, SneakySnakeFilter,
+};
+use gatekeeper_gpu::gpusim::device::DeviceSpec;
+use gatekeeper_gpu::gpusim::executor::{
+    launch_kernel, KernelResources, LaunchConfig, ThreadReport,
+};
+use gatekeeper_gpu::mapper::pipeline::{MapperConfig, PreFilter, ReadMapper};
+use gatekeeper_gpu::seq::datasets::DatasetProfile;
+use gatekeeper_gpu::seq::fastq::FastqRecord;
+use gatekeeper_gpu::seq::packed::encode_batch_parallel;
+use gatekeeper_gpu::seq::pairs::encode_pair_batch;
+use gatekeeper_gpu::seq::simulate::{ErrorProfile, ReadSimulator};
+use gatekeeper_gpu::seq::{PackedSeq, ReferenceBuilder};
+
+const SEEDS: [u64; 3] = [11, 4242, 990_017];
+
+/// Runs `op` in the shim's sequential fallback (a one-thread pool), producing
+/// the reference output the parallel runs must match exactly.
+fn sequential<R>(op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("one-thread reference pool")
+        .install(op)
+}
+
+#[test]
+fn batch_encoding_is_identical_to_sequential() {
+    for seed in SEEDS {
+        let pairs = DatasetProfile::set3().generate(2_500, seed);
+        let (reads, refs) = pairs.as_slices();
+
+        let parallel: Vec<PackedSeq> = encode_batch_parallel(&reads);
+        let fallback: Vec<PackedSeq> = sequential(|| encode_batch_parallel(&reads));
+        let plain: Vec<PackedSeq> = reads.iter().map(|s| PackedSeq::from_ascii(s)).collect();
+        assert_eq!(parallel, fallback, "seed {seed}");
+        assert_eq!(parallel, plain, "seed {seed}");
+
+        let parallel_pairs = encode_pair_batch(&pairs.pairs);
+        let fallback_pairs = sequential(|| encode_pair_batch(&pairs.pairs));
+        assert_eq!(parallel_pairs, fallback_pairs, "seed {seed}");
+        assert_eq!(parallel_pairs.len(), refs.len());
+    }
+}
+
+#[test]
+fn cpu_filter_baseline_is_identical_to_sequential() {
+    for seed in SEEDS {
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.05;
+        let pairs = profile.generate(2_000, seed);
+        for threshold in [0u32, 3, 7] {
+            let parallel = GateKeeperCpu::new(threshold, 4).filter_set(&pairs);
+            let one_thread = GateKeeperCpu::new(threshold, 1).filter_set(&pairs);
+            assert_eq!(
+                parallel.decisions, one_thread.decisions,
+                "seed {seed}, e = {threshold}"
+            );
+        }
+    }
+}
+
+#[test]
+fn accuracy_sweep_is_identical_to_sequential() {
+    for seed in SEEDS {
+        let mut profile = DatasetProfile::low_edit(100);
+        profile.undefined_fraction = 0.08;
+        let pairs = profile.generate(600, seed);
+
+        let parallel_truth = ground_truth_distances(&pairs);
+        let fallback_truth = sequential(|| ground_truth_distances(&pairs));
+        assert_eq!(parallel_truth, fallback_truth, "seed {seed}");
+
+        let filters: Vec<Box<dyn PreAlignmentFilter>> = vec![
+            Box::new(GateKeeperGpuFilter::new(4)),
+            Box::new(ShdFilter::new(4)),
+            Box::new(SneakySnakeFilter::new(4)),
+        ];
+        for filter in &filters {
+            for policy in [UndefinedPolicy::Exclude, UndefinedPolicy::CountAsAccepted] {
+                let parallel = evaluate_filter(filter.as_ref(), &pairs, policy);
+                let fallback = sequential(|| evaluate_filter(filter.as_ref(), &pairs, policy));
+                assert_eq!(
+                    parallel,
+                    fallback,
+                    "seed {seed}, filter {}, policy {policy:?}",
+                    filter.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_batch_is_identical_to_sequential() {
+    for seed in SEEDS {
+        let pairs = DatasetProfile::low_edit(100).generate(900, seed);
+        let filter = GateKeeperGpuFilter::new(5);
+        let parallel = filter.filter_batch(&pairs.pairs);
+        let fallback = sequential(|| filter.filter_batch(&pairs.pairs));
+        assert_eq!(parallel, fallback, "seed {seed}");
+    }
+}
+
+#[test]
+fn simulated_gpu_run_is_identical_to_sequential() {
+    // The whole GPU-system result (decisions + modelled timing + kernel stats)
+    // is derived from counts, not wall clock, so parallel and sequential runs
+    // must agree exactly.
+    for seed in SEEDS {
+        let pairs = DatasetProfile::set3().generate(1_500, seed);
+        let config = FilterConfig::new(100, 4).with_encoding(EncodingActor::Host);
+        let parallel = GateKeeperGpu::with_default_device(config).filter_set(&pairs);
+        let fallback = sequential(|| GateKeeperGpu::with_default_device(config).filter_set(&pairs));
+        assert_eq!(parallel, fallback, "seed {seed}");
+    }
+}
+
+#[test]
+fn simulated_kernel_launch_is_identical_to_sequential() {
+    let device = DeviceSpec::gtx_1080_ti();
+    let resources = KernelResources::gatekeeper_gpu(&device);
+    let config = LaunchConfig {
+        grid_blocks: 48,
+        threads_per_block: 256,
+    };
+    let body = |ctx: gatekeeper_gpu::gpusim::executor::ThreadCtx| {
+        if ctx.global_idx.is_multiple_of(5) {
+            ThreadReport::idle()
+        } else {
+            ThreadReport {
+                cycles: 100 + (ctx.global_idx as u64 % 97),
+                active: true,
+            }
+        }
+    };
+    let parallel = launch_kernel(&device, &resources, config, body);
+    let fallback = sequential(|| launch_kernel(&device, &resources, config, body));
+    assert_eq!(parallel, fallback);
+}
+
+#[test]
+fn mapper_candidates_and_verification_are_identical_to_sequential() {
+    let reference = ReferenceBuilder::new(60_000)
+        .seed(77)
+        .repeat_fraction(0.25)
+        .n_gaps(0, 0)
+        .build();
+    let reads: Vec<FastqRecord> = ReadSimulator::new(100, ErrorProfile::illumina())
+        .seed(5)
+        .simulate(&reference, 90)
+        .iter()
+        .map(|r| r.to_fastq())
+        .collect();
+    let mapper = ReadMapper::new(reference, MapperConfig::new(3));
+
+    for filter in [
+        PreFilter::None,
+        PreFilter::Host(Box::new(SneakySnakeFilter::new(3))),
+    ] {
+        let parallel = mapper.map_reads(&reads, &filter);
+        let fallback = sequential(|| mapper.map_reads(&reads, &filter));
+        // Timing fields are wall-clock; everything the mapper *computes* must
+        // match record-for-record.
+        assert_eq!(parallel.records, fallback.records);
+        assert_eq!(parallel.stats.mappings, fallback.stats.mappings);
+        assert_eq!(parallel.stats.mapped_reads, fallback.stats.mapped_reads);
+        assert_eq!(
+            parallel.stats.candidate_pairs,
+            fallback.stats.candidate_pairs
+        );
+        assert_eq!(
+            parallel.stats.verification_pairs,
+            fallback.stats.verification_pairs
+        );
+        assert_eq!(parallel.stats.rejected_pairs, fallback.stats.rejected_pairs);
+    }
+}
