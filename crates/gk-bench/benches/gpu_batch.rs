@@ -34,5 +34,27 @@ fn bench_gpu_batches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gpu_batches);
+fn bench_pipeline_overlap(c: &mut Criterion) {
+    // Host wall-clock cost of the chunked pipeline itself (the simulated
+    // timeline bookkeeping is the only difference between the two modes).
+    let mut group = c.benchmark_group("gpu_pipeline");
+    group.sample_size(10);
+
+    let set = DatasetProfile::set3().generate(4_000, 99);
+    group.throughput(Throughput::Elements(set.len() as u64));
+
+    for (label, overlap) in [("serialized", false), ("overlapped", true)] {
+        group.bench_with_input(BenchmarkId::new(label, 500usize), &set, |b, set| {
+            let gpu = GateKeeperGpu::with_default_device(
+                FilterConfig::new(100, 5)
+                    .with_chunk_pairs(500)
+                    .with_overlap(overlap),
+            );
+            b.iter(|| gpu.filter_set(black_box(set)).accepted())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_batches, bench_pipeline_overlap);
 criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! * `--pairs N` — number of pairs per dataset (default varies per experiment);
 //! * `--reads N` — number of reads for mapper experiments;
 //! * `--genome N` — synthetic reference length for mapper experiments;
+//! * `--chunk N` — pipeline chunk size in pairs (0 = auto);
+//! * `--serialized` — disable stream overlap (three stages run back to back);
 //! * `--full` — run the complete sweep instead of the representative subset;
 //! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions.
 
@@ -16,8 +18,11 @@ pub struct HarnessArgs {
     pairs: Option<usize>,
     reads: Option<usize>,
     genome: Option<usize>,
+    chunk: Option<usize>,
     /// Run the full sweep rather than the representative subset.
     pub full: bool,
+    /// Disable stream overlap in the GPU batch pipeline.
+    pub serialized: bool,
     /// Include the Minimap2/BWA-MEM candidate profiles (Figure S.5/S.6).
     pub mapper_profiles: bool,
     /// Include the additional real-set rows of Table S.26.
@@ -39,6 +44,8 @@ impl HarnessArgs {
                 "--pairs" => parsed.pairs = iter.next().and_then(|v| v.parse().ok()),
                 "--reads" => parsed.reads = iter.next().and_then(|v| v.parse().ok()),
                 "--genome" => parsed.genome = iter.next().and_then(|v| v.parse().ok()),
+                "--chunk" => parsed.chunk = iter.next().and_then(|v| v.parse().ok()),
+                "--serialized" => parsed.serialized = true,
                 "--full" => parsed.full = true,
                 "--mapper-profiles" => parsed.mapper_profiles = true,
                 "--extra-sets" => parsed.extra_sets = true,
@@ -61,6 +68,11 @@ impl HarnessArgs {
     /// Synthetic genome length, defaulting to `default`.
     pub fn genome(&self, default: usize) -> usize {
         self.genome.unwrap_or(default).max(10_000)
+    }
+
+    /// Pipeline chunk size in pairs, defaulting to `default` (0 = auto-size).
+    pub fn chunk(&self, default: usize) -> usize {
+        self.chunk.unwrap_or(default)
     }
 }
 
@@ -92,7 +104,15 @@ mod tests {
             "--mapper-profiles".into(),
             "--extra-sets".into(),
             "--full".into(),
+            "--serialized".into(),
         ]);
-        assert!(args.mapper_profiles && args.extra_sets && args.full);
+        assert!(args.mapper_profiles && args.extra_sets && args.full && args.serialized);
+    }
+
+    #[test]
+    fn chunk_parses_with_auto_default() {
+        let args = HarnessArgs::parse_from(vec!["--chunk".into(), "250000".into()]);
+        assert_eq!(args.chunk(0), 250_000);
+        assert_eq!(HarnessArgs::parse_from(vec![]).chunk(0), 0);
     }
 }

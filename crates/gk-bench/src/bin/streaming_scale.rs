@@ -1,0 +1,109 @@
+//! Whole-genome-scale streaming run: drives a paper-sized pair stream through
+//! the triple-buffered GPU batch pipeline without ever materializing the pair
+//! set (§3.4 multi-stream prefetch exploited end to end).
+//!
+//! The default run streams 1 million pairs; `--full` uses the paper's 30 million
+//! (the size of every "Set N"). Memory stays bounded by the source batch size
+//! regardless of `--pairs`, and the report shows the overlapped pipeline
+//! makespan next to what the same work costs serialized.
+//!
+//! Usage: `cargo run --release -p gk-bench --bin streaming_scale
+//!         [--pairs N] [--full] [--chunk N] [--serialized]`
+
+use gk_bench::datasets::PAPER_SET_SIZE;
+use gk_bench::runner::streaming_gpu_throughput;
+use gk_bench::table::fmt;
+use gk_bench::{HarnessArgs, SETUP1};
+use gk_core::config::EncodingActor;
+use gk_core::timing::{billions_in_40_minutes, millions_per_second};
+use gk_seq::datasets::DatasetProfile;
+use std::time::Instant;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let pairs = args.pairs(if args.full { PAPER_SET_SIZE } else { 1_000_000 });
+    let chunk = args.chunk(250_000);
+    // `--chunk 0` means auto-size the *pipeline* chunks; the source still needs
+    // a real batch size to stay bounded without degenerating to 1-pair batches.
+    let source_batch = if chunk == 0 {
+        250_000
+    } else {
+        chunk.clamp(1, 500_000)
+    };
+    let threshold = 5u32;
+    let profile = DatasetProfile::set3();
+
+    println!(
+        "Streaming GateKeeper-GPU scale run ({} profile)",
+        profile.name
+    );
+    println!(
+        "pairs = {pairs}, source batch = {source_batch}, requested chunk = {chunk}, e = {threshold}, overlap = {}\n",
+        !args.serialized
+    );
+
+    let wall_start = Instant::now();
+    let source = profile.stream_batches(pairs, 0x6B67_5F73, source_batch);
+    let run = streaming_gpu_throughput(
+        &SETUP1,
+        source,
+        threshold,
+        EncodingActor::Host,
+        !args.serialized,
+        chunk,
+    );
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    println!("pairs filtered          : {}", run.pairs);
+    println!("accepted                : {}", run.accepted);
+    println!("rejected                : {}", run.rejected());
+    println!("undefined pass-through  : {}", run.undefined);
+    println!(
+        "kernel launches (chunks): {} of {} pairs (resolved pipeline chunk)",
+        run.batches, run.pipeline.chunk_pairs
+    );
+    println!();
+    println!("simulated timeline (three streams: encode+H2D / kernel / D2H):");
+    println!(
+        "  serialized stages       : {} s",
+        fmt(run.pipeline.serialized_seconds, 4)
+    );
+    println!(
+        "  overlapped makespan     : {} s",
+        fmt(run.pipeline.overlapped_seconds, 4)
+    );
+    println!(
+        "  overlap saves           : {} s ({}x speedup)",
+        fmt(run.pipeline.savings_seconds(), 4),
+        fmt(run.pipeline.speedup(), 2)
+    );
+    println!(
+        "  reported filter time    : {} s",
+        fmt(run.filter_seconds(), 4)
+    );
+    println!(
+        "  reported kernel time    : {} s",
+        fmt(run.kernel_seconds(), 4)
+    );
+    println!();
+    println!(
+        "throughput (filter time): {} Mpairs/s = {} B/40min",
+        fmt(millions_per_second(run.pairs, run.filter_seconds()), 2),
+        fmt(billions_in_40_minutes(run.pairs, run.filter_seconds()), 1)
+    );
+    println!(
+        "unified-memory traffic  : {:.1} MiB to device, {:.3} MiB back",
+        run.memory_stats.bytes_to_device as f64 / (1024.0 * 1024.0),
+        run.memory_stats.bytes_to_host as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "host wall clock         : {} s (functional simulation; resident set bounded by one source batch)",
+        fmt(wall, 1)
+    );
+    println!();
+    println!(
+        "Expected shape (paper, §3.4): prefetching the next batch on separate streams while the"
+    );
+    println!("kernel runs hides most of the transfer, so the overlapped filter time beats the serialized");
+    println!("sum on every multi-chunk run; decisions are identical either way.");
+}

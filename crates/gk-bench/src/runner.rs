@@ -5,9 +5,38 @@ use gk_core::config::{EncodingActor, FilterConfig};
 use gk_core::cpu::GateKeeperCpu;
 use gk_core::gpu::GateKeeperGpu;
 use gk_core::multi_gpu::MultiGpuGateKeeper;
+use gk_core::pipeline::StreamFilterRun;
 use gk_core::timing::billions_in_40_minutes;
 use gk_seq::pairs::PairSet;
+use gk_seq::stream::PairBatches;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Shared worker pools, one per thread count, built lazily and reused for the
+/// lifetime of the harness process. Every binary that sweeps thresholds,
+/// datasets or setups used to rebuild a `GateKeeperCpu` — and with it a fresh
+/// thread pool — per measurement; routing through this cache means the workers
+/// are spawned once per thread count and every iteration reuses them.
+fn pool_cache() -> &'static Mutex<HashMap<usize, Arc<rayon::ThreadPool>>> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    POOLS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the process-wide shared pool for `threads` workers, building it on
+/// first use.
+pub fn shared_pool(threads: usize) -> Arc<rayon::ThreadPool> {
+    let threads = threads.max(1);
+    let mut pools = pool_cache().lock().expect("pool cache poisoned");
+    Arc::clone(pools.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("failed to build shared harness thread pool"),
+        )
+    }))
+}
 
 /// One throughput measurement (a cell family of Table 2 / S.13–S.15).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,10 +95,29 @@ pub fn gpu_throughput(
     }
 }
 
-/// Runs the multicore GateKeeper-CPU baseline over a set.
+/// Runs the multicore GateKeeper-CPU baseline over a set, on the shared pool
+/// for `cores` (no per-call thread spawning).
 pub fn cpu_throughput(set: &PairSet, threshold: u32, cores: usize) -> ThroughputPoint {
-    let run = GateKeeperCpu::new(threshold, cores).filter_set(set);
+    let run = GateKeeperCpu::with_pool(threshold, cores, shared_pool(cores)).filter_set(set);
     ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds)
+}
+
+/// Drives a streaming pair source through GateKeeper-GPU on one device of a
+/// setup without materializing the pair set; the source's read length sizes
+/// the filter configuration.
+pub fn streaming_gpu_throughput(
+    setup: &Setup,
+    source: PairBatches,
+    threshold: u32,
+    encoding: EncodingActor,
+    overlap: bool,
+    chunk_pairs: usize,
+) -> StreamFilterRun {
+    let config = FilterConfig::new(source.read_len(), threshold)
+        .with_encoding(encoding)
+        .with_overlap(overlap)
+        .with_chunk_pairs(chunk_pairs);
+    GateKeeperGpu::new(setup.device(), config).filter_stream(source)
 }
 
 /// Speedup of `baseline_seconds` over `improved_seconds` (≥ 1 means faster).
@@ -108,6 +156,35 @@ mod tests {
         let one = gpu_throughput(&SETUP1, 1, &set, 2, EncodingActor::Host);
         let eight = gpu_throughput(&SETUP1, 8, &set, 2, EncodingActor::Host);
         assert!(eight.kernel_b40 > one.kernel_b40);
+    }
+
+    #[test]
+    fn shared_pools_are_reused_per_thread_count() {
+        let a = shared_pool(3);
+        let b = shared_pool(3);
+        let other = shared_pool(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(a.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn streaming_throughput_reports_the_overlap_win() {
+        use gk_seq::datasets::DatasetProfile;
+        let profile = DatasetProfile::set3();
+        let stream = || profile.stream_batches(5_000, 4_242, 1_000);
+        let overlapped =
+            streaming_gpu_throughput(&SETUP1, stream(), 2, EncodingActor::Host, true, 500);
+        let serialized =
+            streaming_gpu_throughput(&SETUP1, stream(), 2, EncodingActor::Host, false, 500);
+        assert_eq!(overlapped.pairs, 5_000);
+        assert_eq!(overlapped.batches, 10);
+        assert_eq!(overlapped.accepted, serialized.accepted);
+        assert_eq!(overlapped.undefined, serialized.undefined);
+        assert!(overlapped.pipeline.overlap);
+        // Same chunking, same decisions — strictly lower overlapped filter time.
+        assert!(overlapped.filter_seconds() < serialized.filter_seconds());
+        assert!(overlapped.pipeline.savings_seconds() > 0.0);
     }
 
     #[test]

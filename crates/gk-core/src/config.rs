@@ -41,6 +41,14 @@ pub struct FilterConfig {
     /// Maximum number of reads whose candidates are gathered into one batch before
     /// a kernel call (Table 1 explores this knob; 100,000 works best for mrFAST).
     pub max_reads_per_batch: usize,
+    /// Overlap the three pipeline stages (encode+H2D, kernel, D2H read-back) of
+    /// consecutive chunks on separate simulated streams (§3.4). Decisions are
+    /// byte-identical either way; only the simulated timeline changes.
+    pub overlap: bool,
+    /// Pairs per pipeline chunk; `0` sizes chunks automatically (the full batch
+    /// capacity when serialized, a third of it when overlapping so the three
+    /// in-flight buffer slots fit the same memory budget).
+    pub chunk_pairs: usize,
 }
 
 impl FilterConfig {
@@ -52,6 +60,8 @@ impl FilterConfig {
             threshold,
             encoding: EncodingActor::Device,
             max_reads_per_batch: 100_000,
+            overlap: false,
+            chunk_pairs: 0,
         }
     }
 
@@ -64,6 +74,18 @@ impl FilterConfig {
     /// Sets the maximum number of reads per batch.
     pub fn with_max_reads_per_batch(mut self, max_reads: usize) -> FilterConfig {
         self.max_reads_per_batch = max_reads.max(1);
+        self
+    }
+
+    /// Enables or disables stream-overlapped pipelining of consecutive chunks.
+    pub fn with_overlap(mut self, overlap: bool) -> FilterConfig {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets an explicit pipeline chunk size in pairs (`0` restores auto-sizing).
+    pub fn with_chunk_pairs(mut self, chunk_pairs: usize) -> FilterConfig {
+        self.chunk_pairs = chunk_pairs;
         self
     }
 
@@ -140,6 +162,18 @@ mod tests {
         assert_eq!(config.encoding, EncodingActor::Host);
         assert_eq!(config.max_reads_per_batch, 5_000);
         assert_eq!(FilterConfig::new(100, 4).encoding, EncodingActor::Device);
+    }
+
+    #[test]
+    fn overlap_and_chunk_knobs_apply() {
+        let config = FilterConfig::new(100, 4)
+            .with_overlap(true)
+            .with_chunk_pairs(2_048);
+        assert!(config.overlap);
+        assert_eq!(config.chunk_pairs, 2_048);
+        let defaults = FilterConfig::new(100, 4);
+        assert!(!defaults.overlap);
+        assert_eq!(defaults.chunk_pairs, 0);
     }
 
     #[test]

@@ -71,11 +71,23 @@ impl GateKeeperCpu {
             .num_threads(threads)
             .build()
             .expect("failed to build CPU filtering thread pool");
+        GateKeeperCpu::with_pool(threshold, threads, Arc::new(pool))
+    }
+
+    /// Creates a CPU filter on an existing worker pool. Harness binaries that
+    /// sweep thresholds or datasets share one pool per thread count this way
+    /// instead of re-spawning workers for every measurement; `threads` must
+    /// describe the pool's worker count (it is what gets reported).
+    pub fn with_pool(
+        threshold: u32,
+        threads: usize,
+        pool: Arc<rayon::ThreadPool>,
+    ) -> GateKeeperCpu {
         GateKeeperCpu {
             threshold,
-            threads,
+            threads: threads.max(1),
             kernel_config: GateKeeperConfig::gpu(threshold),
-            pool: Arc::new(pool),
+            pool,
         }
     }
 

@@ -14,8 +14,20 @@
 //! with the error threshold while filter time is dominated by host preparation and
 //! transfers; host encoding shrinks the transfer but adds host time; prefetch-less
 //! devices (Kepler) pay page-fault overhead.
+//!
+//! Execution is organised as the chunked three-stage pipeline of
+//! [`crate::pipeline`]: every run — [`GateKeeperGpu::filter_set`] over a
+//! materialized [`PairSet`], [`GateKeeperGpu::filter_chunks`] over explicit
+//! slices, or [`GateKeeperGpu::filter_stream`] over batches produced on the fly
+//! — feeds plan-sized chunks through encode+H2D, kernel, and D2H read-back
+//! stages. With [`FilterConfig::overlap`] on, the stages of adjacent chunks
+//! overlap on separate simulated streams (§3.4) and the reported filter time is
+//! the pipeline makespan; decisions are byte-identical either way.
 
 use crate::config::{EncodingActor, FilterConfig, SystemConfig};
+use crate::pipeline::{
+    ChunkPlan, ChunkStageSeconds, PipelineReport, PipelineSchedule, StreamFilterRun,
+};
 use crate::timing::TimingBreakdown;
 use gk_filters::gatekeeper::{gatekeeper_kernel, GateKeeperConfig};
 use gk_filters::traits::{FilterDecision, PreAlignmentFilter};
@@ -70,6 +82,8 @@ pub struct FilterRun {
     pub sm_efficiency: f64,
     /// Aggregated power report (nvprof-style min/max/average milliwatts).
     pub power: Option<PowerReport>,
+    /// Overlapped-versus-serialized pipeline accounting for the run.
+    pub pipeline: PipelineReport,
 }
 
 impl FilterRun {
@@ -162,26 +176,31 @@ impl GateKeeperGpu {
         }
     }
 
-    /// Filters one batch; returns decisions and the batch timing.
-    fn filter_batch(
+    /// The resolved pipeline chunk plan for this instance.
+    pub fn chunk_plan(&self) -> ChunkPlan {
+        ChunkPlan::resolve(&self.config, &self.system)
+    }
+
+    /// Runs one pipeline chunk through its three stages; returns decisions and
+    /// the per-stage modelled durations.
+    fn run_chunk(
         &self,
         batch: &[SequencePair],
         memory: &mut UnifiedMemory,
         profiler: &mut Profiler,
-    ) -> (Vec<FilterDecision>, TimingBreakdown) {
-        let mut timing = TimingBreakdown {
-            host_prep_seconds: batch.len() as f64 * HOST_PREP_SECONDS_PER_PAIR,
-            ..Default::default()
-        };
+    ) -> ChunkOutcome {
+        // Stage 1 (host / H2D): buffer preparation, encoding, prefetch.
+        let host_prep_seconds = batch.len() as f64 * HOST_PREP_SECONDS_PER_PAIR;
 
         // Encoding. Functionally we always need the packed form to run the kernel;
         // the *time* is attributed to the host only in host-encoded mode (in
         // device-encoded mode the cost appears as extra kernel cycles instead).
         let encoded: Vec<(PackedSeq, PackedSeq)> = encode_pair_batch(batch);
-        if self.config.encoding == EncodingActor::Host {
-            let bases = 2.0 * batch.len() as f64 * self.config.read_len as f64;
-            timing.encode_seconds = bases / HOST_ENCODE_BASES_PER_SECOND;
-        }
+        let encode_seconds = if self.config.encoding == EncodingActor::Host {
+            2.0 * batch.len() as f64 * self.config.read_len as f64 / HOST_ENCODE_BASES_PER_SECOND
+        } else {
+            0.0
+        };
 
         // Unified-memory buffers: reads, reference segments, results.
         memory.reset();
@@ -208,6 +227,7 @@ impl GateKeeperGpu {
             .expect("valid buffer");
         let mut prefetch_stream_reads = Stream::new("prefetch-reads");
         let mut prefetch_stream_refs = Stream::new("prefetch-refs");
+        let mut prefetch_seconds = 0.0;
         if self.device.supports_prefetch() {
             let t_reads = memory
                 .prefetch_to_device(reads_buffer)
@@ -217,10 +237,10 @@ impl GateKeeperGpu {
                 .expect("valid buffer");
             prefetch_stream_reads.enqueue("prefetch reads", t_reads);
             prefetch_stream_refs.enqueue("prefetch refs", t_refs);
-            timing.transfer_seconds += t_reads + t_refs;
+            prefetch_seconds = t_reads + t_refs;
         }
 
-        // Kernel launch: one filtration per thread.
+        // Stage 2 (device): kernel launch, one filtration per thread.
         let decisions: Vec<FilterDecision> = encoded
             .par_iter()
             .map(|(read, reference)| {
@@ -234,14 +254,14 @@ impl GateKeeperGpu {
 
         // On devices without prefetch support the kernel's first touch of each page
         // faults and migrates on demand; that cost lands in the kernel's critical
-        // path but is accounted as transfer time here for reporting, as in §4.3.
+        // path but is accounted as transfer time for reporting, as in §4.3.
         let fault_reads = memory
             .access_from_device(reads_buffer)
             .expect("valid buffer");
         let fault_refs = memory
             .access_from_device(refs_buffer)
             .expect("valid buffer");
-        timing.transfer_seconds += fault_reads + fault_refs;
+        let fault_seconds = fault_reads + fault_refs;
 
         let launch = self.system.launch_config(&self.device, batch.len());
         let resources = KernelResources::gatekeeper_gpu(&self.device);
@@ -254,59 +274,222 @@ impl GateKeeperGpu {
                 None => ThreadReport::idle(),
             }
         });
-        timing.kernel_seconds += stats.kernel_seconds + KERNEL_LAUNCH_OVERHEAD_S;
+        let kernel_seconds = stats.kernel_seconds + KERNEL_LAUNCH_OVERHEAD_S;
         profiler.record(
             "gatekeeper_gpu_kernel",
             stats,
             self.config.words_per_sequence(),
         );
 
-        // Result read-back: the host touches the result buffer for verification.
-        let readback = memory
+        // Stage 3 (D2H): the host reads the result buffer back for verification.
+        let readback_seconds = memory
             .access_from_host(results_buffer)
             .expect("valid buffer");
-        timing.readback_seconds += readback;
 
-        (decisions, timing)
+        ChunkOutcome {
+            decisions,
+            host_prep_seconds,
+            encode_seconds,
+            prefetch_seconds,
+            fault_seconds,
+            kernel_seconds,
+            readback_seconds,
+        }
     }
 
-    /// Filters a whole pair set in maximal batches, reproducing the paper's
-    /// kernel-time / filter-time split.
+    /// Filters a whole pair set through the chunked pipeline, reproducing the
+    /// paper's kernel-time / filter-time split (with the stream-overlapped
+    /// makespan as the filter time when [`FilterConfig::overlap`] is on).
     pub fn filter_set(&self, pairs: &PairSet) -> FilterRun {
-        let mut memory = UnifiedMemory::new(self.device.clone());
-        let mut profiler = Profiler::new(self.device.clone());
+        let mut engine = PipelineEngine::new(self);
         let mut decisions = Vec::with_capacity(pairs.len());
-        let mut timing = TimingBreakdown::default();
-        let mut batches = 0usize;
+        engine.feed(&pairs.pairs, |_, chunk_decisions| {
+            decisions.extend(chunk_decisions)
+        });
+        engine.into_run(decisions)
+    }
 
-        let batch_pairs = self
-            .system
-            .batch_size
-            .min(self.config.max_reads_per_batch.max(1));
-        for batch in pairs.pairs.chunks(batch_pairs.max(1)) {
-            let (batch_decisions, batch_timing) =
-                self.filter_batch(batch, &mut memory, &mut profiler);
-            decisions.extend(batch_decisions);
-            timing.accumulate(&batch_timing);
-            batches += 1;
+    /// Filters an explicit sequence of pair slices (e.g. the round-robin chunk
+    /// shares of one device in a multi-GPU run) through a single pipeline.
+    pub fn filter_chunks<'a, I>(&self, chunks: I) -> FilterRun
+    where
+        I: IntoIterator<Item = &'a [SequencePair]>,
+    {
+        let mut engine = PipelineEngine::new(self);
+        let mut decisions = Vec::new();
+        for chunk in chunks {
+            engine.feed(chunk, |_, chunk_decisions| {
+                decisions.extend(chunk_decisions)
+            });
         }
+        engine.into_run(decisions)
+    }
 
-        FilterRun {
-            decisions,
-            timing,
-            batches,
-            memory_stats: memory.stats(),
-            achieved_occupancy: profiler.average_achieved_occupancy(),
-            theoretical_occupancy: profiler
+    /// Filters a stream of pair batches without materializing the full pair set
+    /// *or* the full decision vector: only aggregate counts, timing and memory
+    /// traffic are retained. This is the whole-genome-scale entry point (30M
+    /// pairs in the paper's sets).
+    pub fn filter_stream<I>(&self, batches: I) -> StreamFilterRun
+    where
+        I: IntoIterator<Item = Vec<SequencePair>>,
+    {
+        self.filter_stream_with(batches, |_, _| {})
+    }
+
+    /// Like [`GateKeeperGpu::filter_stream`], handing each chunk's pairs and
+    /// decisions to `sink` before they are dropped (for callers that persist or
+    /// post-process decisions incrementally).
+    pub fn filter_stream_with<I, F>(&self, batches: I, mut sink: F) -> StreamFilterRun
+    where
+        I: IntoIterator<Item = Vec<SequencePair>>,
+        F: FnMut(&[SequencePair], &[FilterDecision]),
+    {
+        let mut engine = PipelineEngine::new(self);
+        let mut pairs = 0usize;
+        let mut accepted = 0usize;
+        let mut undefined = 0usize;
+        for batch in batches {
+            engine.feed(&batch, |chunk, chunk_decisions| {
+                pairs += chunk_decisions.len();
+                accepted += chunk_decisions.iter().filter(|d| d.accepted).count();
+                undefined += chunk_decisions.iter().filter(|d| d.undefined).count();
+                sink(chunk, &chunk_decisions);
+            });
+        }
+        engine.into_stream_run(pairs, accepted, undefined)
+    }
+}
+
+/// Decisions plus per-stage modelled durations of one pipeline chunk.
+struct ChunkOutcome {
+    decisions: Vec<FilterDecision>,
+    host_prep_seconds: f64,
+    encode_seconds: f64,
+    prefetch_seconds: f64,
+    fault_seconds: f64,
+    kernel_seconds: f64,
+    readback_seconds: f64,
+}
+
+impl ChunkOutcome {
+    /// The three stage durations as enqueued on the pipeline streams: page
+    /// faults sit on the kernel's critical path (§4.3) even though reporting
+    /// accounts them as transfer time.
+    fn stages(&self) -> ChunkStageSeconds {
+        ChunkStageSeconds {
+            h2d_seconds: self.host_prep_seconds + self.encode_seconds + self.prefetch_seconds,
+            kernel_seconds: self.fault_seconds + self.kernel_seconds,
+            d2h_seconds: self.readback_seconds,
+        }
+    }
+}
+
+/// Stateful chunked execution of one filtering run on one device: owns the
+/// unified-memory arena, the profiler and the pipeline schedule, and is fed
+/// pair slices in input order by the `filter_*` entry points.
+struct PipelineEngine<'g> {
+    gpu: &'g GateKeeperGpu,
+    plan: ChunkPlan,
+    memory: UnifiedMemory,
+    profiler: Profiler,
+    schedule: PipelineSchedule,
+    timing: TimingBreakdown,
+}
+
+impl<'g> PipelineEngine<'g> {
+    fn new(gpu: &'g GateKeeperGpu) -> PipelineEngine<'g> {
+        PipelineEngine {
+            plan: gpu.chunk_plan(),
+            memory: UnifiedMemory::new(gpu.device.clone()),
+            profiler: Profiler::new(gpu.device.clone()),
+            schedule: PipelineSchedule::new(),
+            timing: TimingBreakdown::default(),
+            gpu,
+        }
+    }
+
+    /// Cuts `pairs` into plan-sized chunks, runs each through the three stages,
+    /// and hands every chunk's decisions to `sink` in input order.
+    fn feed<F>(&mut self, pairs: &[SequencePair], mut sink: F)
+    where
+        F: FnMut(&[SequencePair], Vec<FilterDecision>),
+    {
+        for chunk in pairs.chunks(self.plan.chunk_pairs.max(1)) {
+            let outcome = self
+                .gpu
+                .run_chunk(chunk, &mut self.memory, &mut self.profiler);
+            self.schedule.record_chunk(&outcome.stages());
+            self.timing.host_prep_seconds += outcome.host_prep_seconds;
+            self.timing.encode_seconds += outcome.encode_seconds;
+            self.timing.transfer_seconds += outcome.prefetch_seconds + outcome.fault_seconds;
+            self.timing.kernel_seconds += outcome.kernel_seconds;
+            self.timing.readback_seconds += outcome.readback_seconds;
+            sink(chunk, outcome.decisions);
+        }
+    }
+
+    fn finish(mut self) -> (TimingBreakdown, PipelineReport, RunAggregates) {
+        let overlap = self.gpu.config.overlap;
+        if overlap && self.schedule.chunks() > 0 {
+            self.timing.overlapped_seconds = Some(self.schedule.overlapped_seconds());
+        }
+        let report = self.schedule.report(self.plan.chunk_pairs, overlap);
+        let aggregates = RunAggregates {
+            batches: self.schedule.chunks(),
+            memory_stats: self.memory.stats(),
+            achieved_occupancy: self.profiler.average_achieved_occupancy(),
+            theoretical_occupancy: self
+                .profiler
                 .profiles()
                 .first()
                 .map(|p| p.stats.theoretical_occupancy)
                 .unwrap_or(0.0),
-            warp_execution_efficiency: profiler.average_warp_execution_efficiency(),
-            sm_efficiency: profiler.average_sm_efficiency(),
-            power: profiler.aggregate_power(),
+            warp_execution_efficiency: self.profiler.average_warp_execution_efficiency(),
+            sm_efficiency: self.profiler.average_sm_efficiency(),
+            power: self.profiler.aggregate_power(),
+        };
+        (self.timing, report, aggregates)
+    }
+
+    fn into_run(self, decisions: Vec<FilterDecision>) -> FilterRun {
+        let (timing, pipeline, agg) = self.finish();
+        FilterRun {
+            decisions,
+            timing,
+            batches: agg.batches,
+            memory_stats: agg.memory_stats,
+            achieved_occupancy: agg.achieved_occupancy,
+            theoretical_occupancy: agg.theoretical_occupancy,
+            warp_execution_efficiency: agg.warp_execution_efficiency,
+            sm_efficiency: agg.sm_efficiency,
+            power: agg.power,
+            pipeline,
         }
     }
+
+    fn into_stream_run(self, pairs: usize, accepted: usize, undefined: usize) -> StreamFilterRun {
+        let (timing, pipeline, agg) = self.finish();
+        StreamFilterRun {
+            pairs,
+            accepted,
+            undefined,
+            timing,
+            batches: agg.batches,
+            memory_stats: agg.memory_stats,
+            pipeline,
+        }
+    }
+}
+
+/// Profiler/memory aggregates shared by both run flavours.
+struct RunAggregates {
+    batches: usize,
+    memory_stats: MemoryStats,
+    achieved_occupancy: f64,
+    theoretical_occupancy: f64,
+    warp_execution_efficiency: f64,
+    sm_efficiency: f64,
+    power: Option<PowerReport>,
 }
 
 impl PreAlignmentFilter for GateKeeperGpu {
@@ -447,6 +630,79 @@ mod tests {
         let run = gpu(4, EncodingActor::Device).filter_set(&set);
         let power = run.power.expect("power report");
         assert!(power.min_mw <= power.average_mw && power.average_mw <= power.max_mw);
+    }
+
+    #[test]
+    fn overlap_keeps_decisions_but_shrinks_filter_time() {
+        let set = pairs(4_000);
+        let serialized =
+            GateKeeperGpu::with_default_device(FilterConfig::new(100, 4).with_chunk_pairs(500))
+                .filter_set(&set);
+        let overlapped = GateKeeperGpu::with_default_device(
+            FilterConfig::new(100, 4)
+                .with_chunk_pairs(500)
+                .with_overlap(true),
+        )
+        .filter_set(&set);
+        // Byte-identical decisions, identical component accounting…
+        assert_eq!(serialized.decisions, overlapped.decisions);
+        assert_eq!(serialized.batches, 8);
+        assert_eq!(overlapped.batches, 8);
+        assert_eq!(
+            serialized.timing.kernel_seconds,
+            overlapped.timing.kernel_seconds
+        );
+        // …but a strictly lower end-to-end filter time from the overlap.
+        assert!(overlapped.filter_seconds() < serialized.filter_seconds());
+        assert!(
+            (serialized.filter_seconds() - serialized.timing.serialized_seconds()).abs() < 1e-12
+        );
+        assert!(overlapped.timing.overlap_savings_seconds() > 0.0);
+        assert!(overlapped.pipeline.overlap);
+        assert!(overlapped.pipeline.speedup() > 1.0);
+        // The serialized run still reports what overlap *would* save.
+        assert!(serialized.pipeline.overlapped_seconds < serialized.pipeline.serialized_seconds);
+    }
+
+    #[test]
+    fn single_chunk_runs_cannot_overlap() {
+        let set = pairs(1_000);
+        let run = GateKeeperGpu::with_default_device(
+            FilterConfig::new(100, 4)
+                .with_chunk_pairs(10_000)
+                .with_overlap(true),
+        )
+        .filter_set(&set);
+        assert_eq!(run.batches, 1);
+        assert!((run.filter_seconds() - run.timing.serialized_seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_stream_matches_filter_set_counts_and_batches() {
+        let profile = DatasetProfile::set3();
+        let set = profile.generate(3_000, 77);
+        let config = FilterConfig::new(100, 5)
+            .with_chunk_pairs(400)
+            .with_overlap(true);
+        let gpu = GateKeeperGpu::with_default_device(config);
+        let run = gpu.filter_set(&set);
+
+        // The same pairs delivered as a stream of uneven batches.
+        let batches: Vec<Vec<SequencePair>> =
+            set.pairs.chunks(700).map(|chunk| chunk.to_vec()).collect();
+        let mut streamed_decisions = Vec::new();
+        let streamed = gpu.filter_stream_with(batches, |_, decisions| {
+            streamed_decisions.extend_from_slice(decisions)
+        });
+        assert_eq!(streamed.pairs, set.len());
+        assert_eq!(streamed.accepted, run.accepted());
+        assert_eq!(streamed.rejected(), run.rejected());
+        assert_eq!(streamed.undefined, set.undefined_count());
+        assert_eq!(streamed_decisions, run.decisions);
+        // Stream batches re-chunk at the plan size, but batch boundaries (700)
+        // also cut chunks, so the stream sees more kernel launches.
+        assert!(streamed.batches >= run.batches);
+        assert!(streamed.filter_seconds() > 0.0);
     }
 
     #[test]

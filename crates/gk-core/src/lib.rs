@@ -9,7 +9,10 @@
 //! * [`gpu`] — [`gpu::GateKeeperGpu`]: batched filtering on the simulated device
 //!   (unified-memory buffers, memAdvise + prefetch streams, one filtration per
 //!   thread, kernel/filter time split, host- or device-side encoding).
-//! * [`multi_gpu`] — [`multi_gpu::MultiGpuGateKeeper`]: equal-share batch splitting
+//! * [`pipeline`] — the chunked, triple-buffered batch pipeline: chunk planning,
+//!   the stream-overlap scheduler (encode+H2D next chunk ∥ kernel current chunk ∥
+//!   D2H previous chunk), and overlapped-versus-serialized reporting.
+//! * [`multi_gpu`] — [`multi_gpu::MultiGpuGateKeeper`]: round-robin chunk sharding
 //!   across several devices with the paper's timing conventions.
 //! * [`cpu`] — [`cpu::GateKeeperCpu`]: the multicore CPU baseline used in the
 //!   throughput comparison (Table 2), measured in real wall-clock time.
@@ -25,10 +28,12 @@ pub mod config;
 pub mod cpu;
 pub mod gpu;
 pub mod multi_gpu;
+pub mod pipeline;
 pub mod timing;
 
 pub use config::{EncodingActor, FilterConfig, SystemConfig};
 pub use cpu::{CpuFilterRun, GateKeeperCpu};
 pub use gpu::{FilterRun, GateKeeperGpu};
 pub use multi_gpu::MultiGpuGateKeeper;
+pub use pipeline::{ChunkPlan, PipelineReport, PipelineSchedule, StreamFilterRun};
 pub use timing::{billions_in_40_minutes, pairs_per_second, TimingBreakdown};

@@ -1,4 +1,4 @@
-//! Multi-GPU GateKeeper: equal-share batch splitting across several devices.
+//! Multi-GPU GateKeeper: round-robin chunk sharding across several devices.
 //!
 //! Setup 1 of the paper attaches eight GTX 1080 Ti boards to one host; the
 //! multi-GPU experiments (Figure 8, Sup. Tables S.21–S.23) show kernel-time
@@ -6,12 +6,18 @@
 //! host-encoded mode) while filter-time throughput grows more slowly because the
 //! host-side preparation and the shared PCIe complex do not scale.
 //!
-//! Timing conventions follow §3.1/§4.3: every device receives an equal share of the
-//! batch, the reported multi-GPU kernel time is the slowest device's kernel time,
-//! and the host-side costs (preparation, encoding) are paid once.
+//! Work distribution reuses the [`crate::pipeline`] chunk planner: the pair set
+//! is cut into pipeline chunks and chunk *i* goes to device *i mod n* (with the
+//! chunk size capped at `⌈total / n⌉` so every device gets work), so each device
+//! runs its chunks through the same triple-buffered pipeline the single-GPU path
+//! uses — including stream overlap when [`FilterConfig::overlap`] is on. Timing
+//! conventions follow §3.1/§4.3: the workload is balanced across devices, the
+//! reported multi-GPU kernel time is the slowest device's kernel time, and the
+//! host-side costs (preparation, encoding) are paid once.
 
 use crate::config::FilterConfig;
 use crate::gpu::{FilterRun, GateKeeperGpu};
+use crate::pipeline::ChunkPlan;
 use crate::timing::TimingBreakdown;
 use gk_gpusim::device::DeviceSpec;
 use gk_gpusim::memory::MemoryStats;
@@ -84,25 +90,39 @@ impl MultiGpuGateKeeper {
         &self.config
     }
 
+    /// The chunk-to-device assignment for `total` pairs: the single-GPU pipeline
+    /// chunk plan, with the chunk size capped at `⌈total / devices⌉` so a small
+    /// set still spreads across every device, sharded round-robin.
+    pub fn shard_plan(&self, total: usize) -> (ChunkPlan, Vec<Vec<(usize, usize)>>) {
+        let devices = self.context.device_count();
+        let probe = GateKeeperGpu::new(self.context.devices()[0].clone(), self.config);
+        let mut plan = probe.chunk_plan();
+        if devices > 1 && total > 0 {
+            plan.chunk_pairs = plan.chunk_pairs.min(total.div_ceil(devices)).max(1);
+        }
+        let assignment = plan.round_robin(total, devices);
+        (plan, assignment)
+    }
+
     /// Filters a pair set across all devices.
     pub fn filter_set(&self, pairs: &PairSet) -> MultiGpuRun {
-        let ranges = self.context.split_work(pairs.len());
+        let (_, assignment) = self.shard_plan(pairs.len());
 
-        // Each device filters its share. The shares are independent, so they are
-        // processed sequentially here while the timing combines them as if they ran
-        // concurrently (which they do on real hardware).
-        let mut per_device = Vec::with_capacity(ranges.len());
+        // Each device pipelines its round-robin chunk share. The shares are
+        // independent, so they are processed sequentially here while the timing
+        // combines them as if they ran concurrently (which they do on real
+        // hardware).
+        let mut per_device = Vec::with_capacity(assignment.len());
         let mut decisions = vec![gk_filters::FilterDecision::accept(0); pairs.len()];
-        for (device_spec, &(start, end)) in self.context.devices().iter().zip(ranges.iter()) {
-            let share = PairSet::new(
-                format!("{} [{}..{})", pairs.name, start, end),
-                pairs.read_len,
-                pairs.pairs[start..end].to_vec(),
-            );
+        for (device_spec, ranges) in self.context.devices().iter().zip(assignment.iter()) {
             let gpu = GateKeeperGpu::new(device_spec.clone(), self.config);
-            let run = gpu.filter_set(&share);
-            for (offset, decision) in run.decisions.iter().enumerate() {
-                decisions[start + offset] = *decision;
+            let run =
+                gpu.filter_chunks(ranges.iter().map(|&(start, end)| &pairs.pairs[start..end]));
+            let mut cursor = 0usize;
+            for &(start, end) in ranges {
+                decisions[start..end]
+                    .copy_from_slice(&run.decisions[cursor..cursor + (end - start)]);
+                cursor += end - start;
             }
             per_device.push(run);
         }
@@ -111,7 +131,8 @@ impl MultiGpuGateKeeper {
         // and encoding once (they are not duplicated per device on real hardware —
         // the host fills one buffer per device from the same pass), then the devices
         // transfer and compute concurrently, so the device-side part is the slowest
-        // device's transfer + kernel + readback.
+        // device's pipeline time beyond those host stages (its overlapped makespan
+        // when stream overlap is on, its transfer + kernel + readback sum otherwise).
         let kernel_seconds = per_device
             .iter()
             .map(|r| r.kernel_seconds())
@@ -123,7 +144,7 @@ impl MultiGpuGateKeeper {
         let device_side = per_device
             .iter()
             .map(|r| {
-                r.timing.transfer_seconds + r.timing.kernel_seconds + r.timing.readback_seconds
+                (r.filter_seconds() - r.timing.host_prep_seconds - r.timing.encode_seconds).max(0.0)
             })
             .fold(0.0, f64::max);
         let filter_seconds = host_once + device_side;
@@ -232,6 +253,40 @@ mod tests {
             assert!(point.kernel_mps > last, "devices = {devices}");
             last = point.kernel_mps;
         }
+    }
+
+    #[test]
+    fn round_robin_sharding_covers_every_pair_once() {
+        let filter = multi(3, EncodingActor::Device);
+        let (plan, assignment) = filter.shard_plan(10_000);
+        assert_eq!(assignment.len(), 3);
+        let mut covered = vec![false; 10_000];
+        for (start, end) in assignment.iter().flatten() {
+            for flag in &mut covered[*start..*end] {
+                assert!(!*flag, "pair covered twice");
+                *flag = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        // The cap keeps every device busy even when the pipeline chunk is huge.
+        assert!(plan.chunk_pairs <= 10_000usize.div_ceil(3));
+        assert!(assignment.iter().all(|ranges| !ranges.is_empty()));
+    }
+
+    #[test]
+    fn overlap_reduces_multi_gpu_filter_time_without_changing_decisions() {
+        let set = pairs(4_000);
+        let config = FilterConfig::new(100, 2)
+            .with_encoding(EncodingActor::Host)
+            .with_chunk_pairs(250);
+        let serialized =
+            MultiGpuGateKeeper::new(DeviceSpec::gtx_1080_ti(), 4, config).filter_set(&set);
+        let overlapped =
+            MultiGpuGateKeeper::new(DeviceSpec::gtx_1080_ti(), 4, config.with_overlap(true))
+                .filter_set(&set);
+        assert_eq!(serialized.decisions, overlapped.decisions);
+        assert_eq!(serialized.kernel_seconds, overlapped.kernel_seconds);
+        assert!(overlapped.filter_seconds < serialized.filter_seconds);
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //! * [`executor`] — SIMT kernel launcher: grid/block/warp decomposition, per-thread
 //!   closures run in parallel with Rayon, warp-execution-efficiency and
 //!   SM-efficiency accounting, and the kernel timing model.
-//! * [`stream`] — CUDA-stream/event-style timeline bookkeeping.
+//! * [`stream`] — CUDA-stream/event-style timeline bookkeeping, including
+//!   cross-stream dependencies (`wait_event`).
+//! * [`timeline`] — [`timeline::Timeline`]: a multi-stream scheduler that chains
+//!   H2D / kernel / D2H streams with events and reports the overlapped makespan
+//!   versus the serialized sum (the §3.4 multi-stream prefetch model).
 //! * [`power`] — nvprof-like power sampling (min/max/average milliwatts).
 //! * [`profiler`] — aggregated per-kernel profiling reports.
 //! * [`multi`] — multi-GPU contexts that split batches across devices.
@@ -42,6 +46,7 @@ pub mod occupancy;
 pub mod power;
 pub mod profiler;
 pub mod stream;
+pub mod timeline;
 
 pub use device::{Architecture, DeviceSpec, PcieLink};
 pub use executor::{
@@ -53,3 +58,4 @@ pub use occupancy::{theoretical_occupancy, OccupancyLimit, OccupancyResult};
 pub use power::{PowerModel, PowerReport};
 pub use profiler::{KernelProfile, Profiler};
 pub use stream::{Event, Stream};
+pub use timeline::{StreamId, Timeline};

@@ -28,10 +28,34 @@ impl Stream {
     }
 
     /// Enqueues an operation lasting `seconds`; returns its completion time.
+    ///
+    /// Durations must be non-negative: a negative duration is a caller bug
+    /// (debug builds assert), and in release builds it is **clamped to zero**
+    /// so the timeline stays monotonic rather than silently running backwards.
     pub fn enqueue(&mut self, label: impl Into<String>, seconds: f64) -> f64 {
+        debug_assert!(
+            seconds >= 0.0,
+            "negative duration {seconds} enqueued on stream `{}`",
+            self.name
+        );
         let seconds = seconds.max(0.0);
         self.cursor_seconds += seconds;
         self.operations.push((label.into(), seconds));
+        self.cursor_seconds
+    }
+
+    /// Makes all subsequently enqueued work wait for `event`, which may have been
+    /// recorded on *another* stream (`cudaStreamWaitEvent`) — the cross-stream
+    /// dependency primitive the batch pipeline uses to chain H2D → kernel → D2H
+    /// stages across streams. If the event lies beyond this stream's current
+    /// cursor, the idle gap is recorded as a zero-work operation labelled
+    /// `label` so timelines stay inspectable. Returns the new cursor position.
+    pub fn wait_event(&mut self, label: impl Into<String>, event: &Event) -> f64 {
+        if event.at_seconds > self.cursor_seconds {
+            let gap = event.at_seconds - self.cursor_seconds;
+            self.cursor_seconds = event.at_seconds;
+            self.operations.push((label.into(), gap));
+        }
         self.cursor_seconds
     }
 
@@ -77,9 +101,20 @@ impl Event {
     }
 
     /// Elapsed time between two events (like `cudaEventElapsedTime`, but in
-    /// seconds). Negative if `self` was recorded after `later`.
+    /// seconds).
+    ///
+    /// `later` must not precede `self`: a reversed pair is a caller bug (debug
+    /// builds assert), and in release builds the result is **clamped to zero**
+    /// so elapsed times never run negative — the same contract as
+    /// [`Stream::enqueue`]'s duration clamp.
     pub fn elapsed_until(&self, later: &Event) -> f64 {
-        later.at_seconds - self.at_seconds
+        debug_assert!(
+            later.at_seconds >= self.at_seconds,
+            "events passed to elapsed_until in reverse order ({} > {})",
+            self.at_seconds,
+            later.at_seconds
+        );
+        (later.at_seconds - self.at_seconds).max(0.0)
     }
 }
 
@@ -107,7 +142,16 @@ mod tests {
     }
 
     #[test]
-    fn negative_durations_are_clamped() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "negative duration")]
+    fn negative_durations_assert_in_debug_builds() {
+        let mut s = Stream::new("test");
+        s.enqueue("weird", -1.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn negative_durations_are_clamped_in_release_builds() {
         let mut s = Stream::new("test");
         s.enqueue("weird", -1.0);
         assert_eq!(s.synchronize(), 0.0);
@@ -120,7 +164,46 @@ mod tests {
         s.enqueue("kernel", 0.25);
         let end = s.record_event();
         assert!((start.elapsed_until(&end) - 0.25).abs() < 1e-12);
-        assert!((end.elapsed_until(&start) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "reverse order")]
+    fn reversed_events_assert_in_debug_builds() {
+        let mut s = Stream::new("test");
+        let start = s.record_event();
+        s.enqueue("kernel", 0.25);
+        let end = s.record_event();
+        let _ = end.elapsed_until(&start);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn reversed_events_are_clamped_in_release_builds() {
+        let mut s = Stream::new("test");
+        let start = s.record_event();
+        s.enqueue("kernel", 0.25);
+        let end = s.record_event();
+        assert_eq!(end.elapsed_until(&start), 0.0);
+    }
+
+    #[test]
+    fn wait_event_advances_the_cursor_across_streams() {
+        let mut producer = Stream::new("h2d");
+        let mut consumer = Stream::new("kernel");
+        producer.enqueue("prefetch", 1.0);
+        let uploaded = producer.record_event();
+        // The consumer has done less work, so the wait inserts an idle gap.
+        consumer.enqueue("kernel batch 0", 0.4);
+        let cursor = consumer.wait_event("wait h2d", &uploaded);
+        assert_eq!(cursor, 1.0);
+        consumer.enqueue("kernel batch 1", 0.5);
+        assert_eq!(consumer.synchronize(), 1.5);
+        // A wait on an already-passed event is a no-op and records nothing.
+        let before = consumer.len();
+        consumer.wait_event("stale wait", &uploaded);
+        assert_eq!(consumer.len(), before);
+        assert_eq!(consumer.synchronize(), 1.5);
     }
 
     #[test]

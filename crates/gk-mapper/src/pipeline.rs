@@ -219,6 +219,31 @@ impl ReadMapper {
         MappingOutcome { records, stats }
     }
 
+    /// Maps a *stream* of read batches without materializing the whole read set:
+    /// each incoming batch is cut at `max_reads_per_batch`, seeded, filtered and
+    /// verified, and only its mapping records are retained — the 30M-pair
+    /// whole-genome entry point matching the GPU path's `filter_stream`.
+    /// Feeding the same reads as one slice to [`ReadMapper::map_reads`] produces
+    /// record-identical output (timing fields are wall-clock and may differ).
+    pub fn map_read_batches<I>(&self, batches: I, filter: &PreFilter) -> MappingOutcome
+    where
+        I: IntoIterator<Item = Vec<FastqRecord>>,
+    {
+        let total_start = Instant::now();
+        let mut stats = MappingStats::default();
+        let mut records = Vec::new();
+
+        for batch in batches {
+            stats.reads += batch.len();
+            for chunk in batch.chunks(self.config.max_reads_per_batch.max(1)) {
+                self.map_batch(chunk, filter, &mut stats, &mut records);
+            }
+        }
+
+        stats.total_seconds = total_start.elapsed().as_secs_f64();
+        MappingOutcome { records, stats }
+    }
+
     fn map_batch(
         &self,
         reads: &[FastqRecord],
@@ -501,6 +526,30 @@ mod tests {
         assert_eq!(a.stats.mappings, b.stats.mappings);
         assert_eq!(a.stats.candidate_pairs, b.stats.candidate_pairs);
         assert_eq!(a.stats.mapped_reads, b.stats.mapped_reads);
+    }
+
+    #[test]
+    fn streamed_read_batches_match_materialized_mapping() {
+        let reference = reference();
+        let reads = simulated_reads(&reference, 90, ErrorProfile::illumina());
+        let mapper = ReadMapper::new(reference, MapperConfig::new(2));
+
+        let materialized = mapper.map_reads(&reads, &gpu_filter(2));
+        let batches: Vec<Vec<FastqRecord>> = reads.chunks(25).map(|c| c.to_vec()).collect();
+        let streamed = mapper.map_read_batches(batches, &gpu_filter(2));
+
+        assert_eq!(streamed.records, materialized.records);
+        assert_eq!(streamed.stats.reads, materialized.stats.reads);
+        assert_eq!(streamed.stats.mappings, materialized.stats.mappings);
+        assert_eq!(streamed.stats.mapped_reads, materialized.stats.mapped_reads);
+        assert_eq!(
+            streamed.stats.candidate_pairs,
+            materialized.stats.candidate_pairs
+        );
+        assert_eq!(
+            streamed.stats.verification_pairs,
+            materialized.stats.verification_pairs
+        );
     }
 
     #[test]

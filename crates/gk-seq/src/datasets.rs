@@ -21,6 +21,7 @@
 
 use crate::pairs::{PairSet, SequencePair};
 use crate::simulate::mutate_with_edits;
+use crate::stream::PairBatches;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -277,23 +278,38 @@ impl DatasetProfile {
         }
     }
 
+    /// Generates the next pair of an RNG-driven sequence. Consuming pairs one by
+    /// one from the same seeded RNG is exactly what [`DatasetProfile::generate`]
+    /// does internally, which is why the streaming source in [`crate::stream`]
+    /// yields byte-identical pairs without materializing the whole set.
+    pub fn generate_pair(&self, rng: &mut StdRng) -> SequencePair {
+        let reference: Vec<u8> = (0..self.read_len)
+            .map(|_| b"ACGT"[rng.gen_range(0..4)])
+            .collect();
+        let edits = self.edit_distribution.sample(rng);
+        let mut read = mutate_with_edits(&reference, edits, self.indel_fraction, rng);
+        if rng.gen_bool(self.undefined_fraction.clamp(0.0, 1.0)) {
+            let pos = rng.gen_range(0..read.len().max(1));
+            read[pos] = b'N';
+        }
+        SequencePair::new(read, reference)
+    }
+
     /// Generates `count` pairs under this profile. Deterministic for a given seed.
     pub fn generate(&self, count: usize, seed: u64) -> PairSet {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pairs = Vec::with_capacity(count);
         for _ in 0..count {
-            let reference: Vec<u8> = (0..self.read_len)
-                .map(|_| b"ACGT"[rng.gen_range(0..4)])
-                .collect();
-            let edits = self.edit_distribution.sample(&mut rng);
-            let mut read = mutate_with_edits(&reference, edits, self.indel_fraction, &mut rng);
-            if rng.gen_bool(self.undefined_fraction.clamp(0.0, 1.0)) {
-                let pos = rng.gen_range(0..read.len().max(1));
-                read[pos] = b'N';
-            }
-            pairs.push(SequencePair::new(read, reference));
+            pairs.push(self.generate_pair(&mut rng));
         }
         PairSet::new(self.name.clone(), self.read_len, pairs)
+    }
+
+    /// Streams `count` pairs in batches of `batch_pairs` without ever holding
+    /// more than one batch in memory; concatenating the batches reproduces
+    /// [`DatasetProfile::generate`] with the same seed byte for byte.
+    pub fn stream_batches(&self, count: usize, seed: u64, batch_pairs: usize) -> PairBatches {
+        PairBatches::new(self.clone(), count, seed, batch_pairs)
     }
 }
 

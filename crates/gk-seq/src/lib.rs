@@ -25,6 +25,9 @@
 //!   paper's datasets (Set 1 … Set 12, the Minimap2 and BWA-MEM candidate sets),
 //!   so that every accuracy table and figure can be regenerated without access to
 //!   the original read archives.
+//! * [`stream`] — streaming pair sources: deterministic iterators of (optionally
+//!   2-bit encoded) pair batches, so 30-million-pair runs never materialize a
+//!   full set.
 
 #![warn(missing_docs)]
 
@@ -36,9 +39,11 @@ pub mod packed;
 pub mod pairs;
 pub mod reference;
 pub mod simulate;
+pub mod stream;
 
 pub use alphabet::{complement, decode_base, encode_base, is_valid_base, Base};
 pub use packed::PackedSeq;
 pub use pairs::{encode_pair_batch, PairSet, SequencePair};
 pub use reference::{Reference, ReferenceBuilder};
 pub use simulate::{ErrorProfile, ReadSimulator, SimulatedRead};
+pub use stream::{EncodedPairBatches, PairBatches};

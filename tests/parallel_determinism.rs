@@ -1,4 +1,5 @@
-//! Determinism suite for every parallelized host-side path.
+//! Determinism suite for every parallelized host-side path, plus the
+//! overlap-versus-serialized determinism contract of the GPU batch pipeline.
 //!
 //! The rayon shim executes combinators eagerly over ordered chunks, so every
 //! wired path — 2-bit batch encoding, the multicore CPU filter baseline, the
@@ -8,6 +9,11 @@
 //! and the reference version inside a one-thread pool (the shim's sequential
 //! fallback, the same mode `RAYON_NUM_THREADS=1` selects), across several
 //! seeded random batches.
+//!
+//! The pipeline suite at the bottom asserts the tentpole invariant of the
+//! stream-overlapped engine: turning overlap on or changing the chunk size may
+//! only change the *simulated timeline*, never a decision, a count, or a mapper
+//! record.
 
 use gatekeeper_gpu::core::cpu::GateKeeperCpu;
 use gatekeeper_gpu::core::{EncodingActor, FilterConfig, GateKeeperGpu};
@@ -152,6 +158,132 @@ fn simulated_kernel_launch_is_identical_to_sequential() {
     let parallel = launch_kernel(&device, &resources, config, body);
     let fallback = sequential(|| launch_kernel(&device, &resources, config, body));
     assert_eq!(parallel, fallback);
+}
+
+/// Chunk sizes the pipeline determinism suite sweeps for a 900-pair set:
+/// degenerate single-pair chunks, uneven mid-sizes, exactly the pair count, and
+/// a chunk larger than the whole set (single-chunk run).
+const CHUNK_SIZES: [usize; 5] = [1, 64, 333, 900, 2_000];
+
+#[test]
+fn overlap_and_chunking_never_change_decisions_or_counts() {
+    for seed in SEEDS {
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.03;
+        let pairs = profile.generate(900, seed);
+
+        let reference =
+            GateKeeperGpu::with_default_device(FilterConfig::new(100, 4)).filter_set(&pairs);
+        for chunk in CHUNK_SIZES {
+            for overlap in [false, true] {
+                let config = FilterConfig::new(100, 4)
+                    .with_chunk_pairs(chunk)
+                    .with_overlap(overlap);
+                let run = GateKeeperGpu::with_default_device(config).filter_set(&pairs);
+                assert_eq!(
+                    run.decisions, reference.decisions,
+                    "seed {seed}, chunk {chunk}, overlap {overlap}"
+                );
+                assert_eq!(run.accepted(), reference.accepted());
+                assert_eq!(run.rejected(), reference.rejected());
+                assert_eq!(run.batches, 900usize.div_ceil(chunk.max(1)).min(900));
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapped_multi_chunk_runs_are_strictly_faster_than_serialized() {
+    // The acceptance bar of the pipeline refactor: on a multi-batch run
+    // (≥ 8 chunks) the overlapped timeline strictly beats the serialized sum
+    // while the decisions stay byte-identical (checked above).
+    let pairs = DatasetProfile::set3().generate(2_000, 7_001);
+    for chunk in [100usize, 250] {
+        let serialized =
+            GateKeeperGpu::with_default_device(FilterConfig::new(100, 4).with_chunk_pairs(chunk))
+                .filter_set(&pairs);
+        let overlapped = GateKeeperGpu::with_default_device(
+            FilterConfig::new(100, 4)
+                .with_chunk_pairs(chunk)
+                .with_overlap(true),
+        )
+        .filter_set(&pairs);
+        assert!(serialized.batches >= 8, "chunk {chunk}");
+        assert_eq!(serialized.decisions, overlapped.decisions);
+        assert!(
+            overlapped.filter_seconds() < serialized.filter_seconds(),
+            "chunk {chunk}: overlapped {} !< serialized {}",
+            overlapped.filter_seconds(),
+            serialized.filter_seconds()
+        );
+    }
+}
+
+#[test]
+fn streamed_filtering_matches_materialized_filtering_at_every_chunk_size() {
+    for seed in SEEDS {
+        let profile = DatasetProfile::set3();
+        let pairs = profile.generate(900, seed);
+        for chunk in CHUNK_SIZES {
+            let config = FilterConfig::new(100, 5)
+                .with_chunk_pairs(chunk)
+                .with_overlap(true);
+            let gpu = GateKeeperGpu::with_default_device(config);
+            let materialized = gpu.filter_set(&pairs);
+            let mut streamed_decisions = Vec::new();
+            let streamed = gpu
+                .filter_stream_with(profile.stream_batches(900, seed, 450), |_, decisions| {
+                    streamed_decisions.extend_from_slice(decisions)
+                });
+            assert_eq!(streamed.pairs, 900, "seed {seed}, chunk {chunk}");
+            assert_eq!(streamed.accepted, materialized.accepted());
+            assert_eq!(streamed.rejected(), materialized.rejected());
+            assert_eq!(streamed_decisions, materialized.decisions);
+        }
+    }
+}
+
+#[test]
+fn mapper_records_are_identical_with_overlap_on_or_off() {
+    let reference = ReferenceBuilder::new(60_000)
+        .seed(123)
+        .repeat_fraction(0.25)
+        .n_gaps(0, 0)
+        .build();
+    let reads: Vec<FastqRecord> = ReadSimulator::new(100, ErrorProfile::illumina())
+        .seed(9)
+        .simulate(&reference, 80)
+        .iter()
+        .map(|r| r.to_fastq())
+        .collect();
+    let mapper = ReadMapper::new(reference, MapperConfig::new(3));
+
+    let baseline = mapper.map_reads(
+        &reads,
+        &PreFilter::Gpu(GateKeeperGpu::with_default_device(FilterConfig::new(
+            100, 3,
+        ))),
+    );
+    for chunk in [1usize, 50, 10_000] {
+        for overlap in [false, true] {
+            let config = FilterConfig::new(100, 3)
+                .with_chunk_pairs(chunk)
+                .with_overlap(overlap);
+            let filter = PreFilter::Gpu(GateKeeperGpu::with_default_device(config));
+            let outcome = mapper.map_reads(&reads, &filter);
+            assert_eq!(
+                outcome.records, baseline.records,
+                "chunk {chunk}, overlap {overlap}"
+            );
+            assert_eq!(outcome.stats.mappings, baseline.stats.mappings);
+            assert_eq!(outcome.stats.mapped_reads, baseline.stats.mapped_reads);
+            assert_eq!(
+                outcome.stats.verification_pairs,
+                baseline.stats.verification_pairs
+            );
+            assert_eq!(outcome.stats.rejected_pairs, baseline.stats.rejected_pairs);
+        }
+    }
 }
 
 #[test]
