@@ -9,6 +9,7 @@
 //! * `--genome N` — synthetic reference length for mapper experiments;
 //! * `--chunk N` — pipeline chunk size in pairs (0 = auto);
 //! * `--serialized` — disable stream overlap (three stages run back to back);
+//! * `--host-serial` — disable the host-side prefetch (serial host compute);
 //! * `--full` — run the complete sweep instead of the representative subset;
 //! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions.
 
@@ -23,6 +24,9 @@ pub struct HarnessArgs {
     pub full: bool,
     /// Disable stream overlap in the GPU batch pipeline.
     pub serialized: bool,
+    /// Disable the host-side prefetch (encode of chunk i+1 on the worker pool
+    /// while chunk i's kernel closure runs); the host computes chunks serially.
+    pub host_serial: bool,
     /// Include the Minimap2/BWA-MEM candidate profiles (Figure S.5/S.6).
     pub mapper_profiles: bool,
     /// Include the additional real-set rows of Table S.26.
@@ -46,6 +50,7 @@ impl HarnessArgs {
                 "--genome" => parsed.genome = iter.next().and_then(|v| v.parse().ok()),
                 "--chunk" => parsed.chunk = iter.next().and_then(|v| v.parse().ok()),
                 "--serialized" => parsed.serialized = true,
+                "--host-serial" => parsed.host_serial = true,
                 "--full" => parsed.full = true,
                 "--mapper-profiles" => parsed.mapper_profiles = true,
                 "--extra-sets" => parsed.extra_sets = true,
@@ -105,8 +110,11 @@ mod tests {
             "--extra-sets".into(),
             "--full".into(),
             "--serialized".into(),
+            "--host-serial".into(),
         ]);
         assert!(args.mapper_profiles && args.extra_sets && args.full && args.serialized);
+        assert!(args.host_serial);
+        assert!(!HarnessArgs::parse_from(vec![]).host_serial);
     }
 
     #[test]

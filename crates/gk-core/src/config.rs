@@ -49,6 +49,15 @@ pub struct FilterConfig {
     /// capacity when serialized, a third of it when overlapping so the three
     /// in-flight buffer slots fit the same memory budget).
     pub chunk_pairs: usize,
+    /// Dispatch the prep+encode of the *next* pipeline chunk as a task on the
+    /// shared worker pool while the current chunk's kernel closure executes —
+    /// real wall-clock overlap on the host, the measured counterpart of the
+    /// simulated §3.4 stream overlap. At most `BUFFER_SLOTS − 1` encoded
+    /// chunks are kept in flight so memory stays bounded. Decisions and the
+    /// simulated timing splits are byte-identical either way; only
+    /// `TimingBreakdown::host_wall_seconds` changes. Falls back to the serial
+    /// path when the pool is sequential (`RAYON_NUM_THREADS=1`).
+    pub host_prefetch: bool,
 }
 
 impl FilterConfig {
@@ -62,6 +71,7 @@ impl FilterConfig {
             max_reads_per_batch: 100_000,
             overlap: false,
             chunk_pairs: 0,
+            host_prefetch: false,
         }
     }
 
@@ -86,6 +96,13 @@ impl FilterConfig {
     /// Sets an explicit pipeline chunk size in pairs (`0` restores auto-sizing).
     pub fn with_chunk_pairs(mut self, chunk_pairs: usize) -> FilterConfig {
         self.chunk_pairs = chunk_pairs;
+        self
+    }
+
+    /// Enables or disables real host-side prefetch: encoding the next chunk on
+    /// the worker pool while the current chunk's kernel closure runs.
+    pub fn with_host_prefetch(mut self, host_prefetch: bool) -> FilterConfig {
+        self.host_prefetch = host_prefetch;
         self
     }
 
@@ -174,6 +191,12 @@ mod tests {
         let defaults = FilterConfig::new(100, 4);
         assert!(!defaults.overlap);
         assert_eq!(defaults.chunk_pairs, 0);
+        assert!(!defaults.host_prefetch);
+        assert!(
+            FilterConfig::new(100, 4)
+                .with_host_prefetch(true)
+                .host_prefetch
+        );
     }
 
     #[test]

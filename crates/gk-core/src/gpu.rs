@@ -27,6 +27,7 @@
 use crate::config::{EncodingActor, FilterConfig, SystemConfig};
 use crate::pipeline::{
     ChunkPlan, ChunkStageSeconds, PipelineReport, PipelineSchedule, StreamFilterRun,
+    PREFETCH_IN_FLIGHT,
 };
 use crate::timing::TimingBreakdown;
 use gk_filters::gatekeeper::{gatekeeper_kernel, GateKeeperConfig};
@@ -41,6 +42,8 @@ use gk_seq::pairs::{encode_pair_batch, PairSet, SequencePair};
 use gk_seq::PackedSeq;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Host-side buffer preparation cost per pair (gathering reads and candidate
 /// indices into the transfer buffers, §3.5).
@@ -181,31 +184,19 @@ impl GateKeeperGpu {
         ChunkPlan::resolve(&self.config, &self.system)
     }
 
-    /// Runs one pipeline chunk through its three stages; returns decisions and
-    /// the per-stage modelled durations.
-    fn run_chunk(
+    /// Runs the device side of one pipeline chunk (unified-memory traffic,
+    /// kernel launch, result read-back) over an already-encoded batch.
+    fn device_stage(
         &self,
-        batch: &[SequencePair],
+        batch_len: usize,
+        encoded: &[(PackedSeq, PackedSeq)],
         memory: &mut UnifiedMemory,
         profiler: &mut Profiler,
-    ) -> ChunkOutcome {
-        // Stage 1 (host / H2D): buffer preparation, encoding, prefetch.
-        let host_prep_seconds = batch.len() as f64 * HOST_PREP_SECONDS_PER_PAIR;
-
-        // Encoding. Functionally we always need the packed form to run the kernel;
-        // the *time* is attributed to the host only in host-encoded mode (in
-        // device-encoded mode the cost appears as extra kernel cycles instead).
-        let encoded: Vec<(PackedSeq, PackedSeq)> = encode_pair_batch(batch);
-        let encode_seconds = if self.config.encoding == EncodingActor::Host {
-            2.0 * batch.len() as f64 * self.config.read_len as f64 / HOST_ENCODE_BASES_PER_SECOND
-        } else {
-            0.0
-        };
-
+    ) -> DeviceOutcome {
         // Unified-memory buffers: reads, reference segments, results.
         memory.reset();
-        let input_bytes = self.input_bytes_per_pair() * batch.len() as u64;
-        let result_bytes = 8 * batch.len() as u64;
+        let input_bytes = self.input_bytes_per_pair() * batch_len as u64;
+        let result_bytes = 8 * batch_len as u64;
         let reads_buffer = memory
             .alloc(input_bytes / 2)
             .expect("batch sized beyond device memory despite system configuration");
@@ -263,7 +254,7 @@ impl GateKeeperGpu {
             .expect("valid buffer");
         let fault_seconds = fault_reads + fault_refs;
 
-        let launch = self.system.launch_config(&self.device, batch.len());
+        let launch = self.system.launch_config(&self.device, batch_len);
         let resources = KernelResources::gatekeeper_gpu(&self.device);
         let stats = launch_kernel(&self.device, &resources, launch, |ctx| {
             match decisions.get(ctx.global_idx) {
@@ -286,10 +277,8 @@ impl GateKeeperGpu {
             .access_from_host(results_buffer)
             .expect("valid buffer");
 
-        ChunkOutcome {
+        DeviceOutcome {
             decisions,
-            host_prep_seconds,
-            encode_seconds,
             prefetch_seconds,
             fault_seconds,
             kernel_seconds,
@@ -303,9 +292,11 @@ impl GateKeeperGpu {
     pub fn filter_set(&self, pairs: &PairSet) -> FilterRun {
         let mut engine = PipelineEngine::new(self);
         let mut decisions = Vec::with_capacity(pairs.len());
-        engine.feed(&pairs.pairs, |_, chunk_decisions| {
+        let mut sink = |_: &[SequencePair], chunk_decisions: Vec<FilterDecision>| {
             decisions.extend(chunk_decisions)
-        });
+        };
+        engine.feed(&pairs.pairs, &mut sink);
+        engine.flush(&mut sink);
         engine.into_run(decisions)
     }
 
@@ -317,11 +308,13 @@ impl GateKeeperGpu {
     {
         let mut engine = PipelineEngine::new(self);
         let mut decisions = Vec::new();
+        let mut sink = |_: &[SequencePair], chunk_decisions: Vec<FilterDecision>| {
+            decisions.extend(chunk_decisions)
+        };
         for chunk in chunks {
-            engine.feed(chunk, |_, chunk_decisions| {
-                decisions.extend(chunk_decisions)
-            });
+            engine.feed(chunk, &mut sink);
         }
+        engine.flush(&mut sink);
         engine.into_run(decisions)
     }
 
@@ -348,45 +341,73 @@ impl GateKeeperGpu {
         let mut pairs = 0usize;
         let mut accepted = 0usize;
         let mut undefined = 0usize;
+        let mut counting_sink = |chunk: &[SequencePair], chunk_decisions: Vec<FilterDecision>| {
+            pairs += chunk_decisions.len();
+            accepted += chunk_decisions.iter().filter(|d| d.accepted).count();
+            undefined += chunk_decisions.iter().filter(|d| d.undefined).count();
+            sink(chunk, &chunk_decisions);
+        };
         for batch in batches {
-            engine.feed(&batch, |chunk, chunk_decisions| {
-                pairs += chunk_decisions.len();
-                accepted += chunk_decisions.iter().filter(|d| d.accepted).count();
-                undefined += chunk_decisions.iter().filter(|d| d.undefined).count();
-                sink(chunk, &chunk_decisions);
-            });
+            engine.feed_owned(batch, &mut counting_sink);
         }
+        engine.flush(&mut counting_sink);
         engine.into_stream_run(pairs, accepted, undefined)
     }
 }
 
-/// Decisions plus per-stage modelled durations of one pipeline chunk.
-struct ChunkOutcome {
+/// Decisions plus per-stage modelled durations of one chunk's *device* side
+/// (everything downstream of the host encode).
+struct DeviceOutcome {
     decisions: Vec<FilterDecision>,
-    host_prep_seconds: f64,
-    encode_seconds: f64,
     prefetch_seconds: f64,
     fault_seconds: f64,
     kernel_seconds: f64,
     readback_seconds: f64,
 }
 
-impl ChunkOutcome {
-    /// The three stage durations as enqueued on the pipeline streams: page
-    /// faults sit on the kernel's critical path (§4.3) even though reporting
-    /// accounts them as transfer time.
-    fn stages(&self) -> ChunkStageSeconds {
-        ChunkStageSeconds {
-            h2d_seconds: self.host_prep_seconds + self.encode_seconds + self.prefetch_seconds,
-            kernel_seconds: self.fault_seconds + self.kernel_seconds,
-            d2h_seconds: self.readback_seconds,
-        }
-    }
+/// Host-stage output of one pipeline chunk: the owned pairs, their 2-bit
+/// encodings, and the modelled host durations. This is what the prefetch
+/// executor produces ahead of time on the worker pool.
+struct EncodedChunk {
+    pairs: Vec<SequencePair>,
+    encoded: Vec<(PackedSeq, PackedSeq)>,
+    host_prep_seconds: f64,
+    encode_seconds: f64,
+}
+
+/// The host stage of one chunk: buffer preparation plus 2-bit encoding.
+///
+/// Functionally the packed form is always needed to run the kernel; the *time*
+/// is attributed to the host only in host-encoded mode (in device-encoded mode
+/// the cost appears as extra kernel cycles instead). A free function over
+/// owned/`Copy` inputs so the prefetch executor can run it as a `'static`
+/// task on the worker pool.
+fn encode_stage(
+    batch: &[SequencePair],
+    read_len: usize,
+    encoding: EncodingActor,
+) -> (Vec<(PackedSeq, PackedSeq)>, f64, f64) {
+    let host_prep_seconds = batch.len() as f64 * HOST_PREP_SECONDS_PER_PAIR;
+    let encoded: Vec<(PackedSeq, PackedSeq)> = encode_pair_batch(batch);
+    let encode_seconds = if encoding == EncodingActor::Host {
+        2.0 * batch.len() as f64 * read_len as f64 / HOST_ENCODE_BASES_PER_SECOND
+    } else {
+        0.0
+    };
+    (encoded, host_prep_seconds, encode_seconds)
 }
 
 /// Stateful chunked execution of one filtering run on one device: owns the
 /// unified-memory arena, the profiler and the pipeline schedule, and is fed
 /// pair slices in input order by the `filter_*` entry points.
+///
+/// With [`FilterConfig::host_prefetch`] on (and a parallel worker pool), the
+/// engine is a *wall-clock* prefetch executor: each chunk's prep+encode is
+/// dispatched as a task on the shared pool, so chunk *i+1* encodes while chunk
+/// *i*'s kernel closure runs on the caller. At most [`PREFETCH_IN_FLIGHT`]
+/// encoded chunks exist at any moment, keeping memory bounded, and chunks are
+/// drained strictly in input order so decisions, sink calls and the simulated
+/// timeline are byte-identical to the serial path.
 struct PipelineEngine<'g> {
     gpu: &'g GateKeeperGpu,
     plan: ChunkPlan,
@@ -394,6 +415,13 @@ struct PipelineEngine<'g> {
     profiler: Profiler,
     schedule: PipelineSchedule,
     timing: TimingBreakdown,
+    /// True when the engine actually dispatches encode tasks to the pool
+    /// (knob on *and* the pool is parallel — under `RAYON_NUM_THREADS=1` the
+    /// engine keeps today's serial path).
+    prefetch: bool,
+    /// Encode tasks in flight, oldest chunk first.
+    pending: VecDeque<rayon::JoinHandle<EncodedChunk>>,
+    wall_start: Instant,
 }
 
 impl<'g> PipelineEngine<'g> {
@@ -404,36 +432,146 @@ impl<'g> PipelineEngine<'g> {
             profiler: Profiler::new(gpu.device.clone()),
             schedule: PipelineSchedule::new(),
             timing: TimingBreakdown::default(),
+            prefetch: gpu.config.host_prefetch && rayon::current_num_threads() > 1,
+            pending: VecDeque::with_capacity(PREFETCH_IN_FLIGHT),
+            wall_start: Instant::now(),
             gpu,
         }
     }
 
-    /// Cuts `pairs` into plan-sized chunks, runs each through the three stages,
-    /// and hands every chunk's decisions to `sink` in input order.
-    fn feed<F>(&mut self, pairs: &[SequencePair], mut sink: F)
+    /// Cuts `pairs` into plan-sized chunks and runs each through the three
+    /// stages, handing every chunk's decisions to `sink` in input order. In
+    /// prefetch mode the encode of the newest chunk runs on the pool while
+    /// older chunks' kernel closures execute here; callers must [`Self::flush`]
+    /// after the last `feed` to drain what is still in flight.
+    fn feed<F>(&mut self, pairs: &[SequencePair], sink: &mut F)
     where
         F: FnMut(&[SequencePair], Vec<FilterDecision>),
     {
         for chunk in pairs.chunks(self.plan.chunk_pairs.max(1)) {
-            let outcome = self
-                .gpu
-                .run_chunk(chunk, &mut self.memory, &mut self.profiler);
-            self.schedule.record_chunk(&outcome.stages());
-            self.timing.host_prep_seconds += outcome.host_prep_seconds;
-            self.timing.encode_seconds += outcome.encode_seconds;
-            self.timing.transfer_seconds += outcome.prefetch_seconds + outcome.fault_seconds;
-            self.timing.kernel_seconds += outcome.kernel_seconds;
-            self.timing.readback_seconds += outcome.readback_seconds;
-            sink(chunk, outcome.decisions);
+            if self.prefetch {
+                self.spawn_encode(chunk.to_vec());
+                while self.pending.len() >= PREFETCH_IN_FLIGHT {
+                    self.drain_one(sink);
+                }
+            } else {
+                let (encoded, host_prep_seconds, encode_seconds) =
+                    encode_stage(chunk, self.gpu.config.read_len, self.gpu.config.encoding);
+                self.complete_chunk(chunk, &encoded, host_prep_seconds, encode_seconds, sink);
+            }
         }
     }
 
+    /// Like [`Self::feed`], but takes ownership of the batch so prefetch-mode
+    /// chunks *move* into their encode tasks instead of being cloned — the
+    /// whole-genome streaming path, where batches are produced owned anyway.
+    fn feed_owned<F>(&mut self, batch: Vec<SequencePair>, sink: &mut F)
+    where
+        F: FnMut(&[SequencePair], Vec<FilterDecision>),
+    {
+        if !self.prefetch {
+            return self.feed(&batch, sink);
+        }
+        let size = self.plan.chunk_pairs.max(1);
+        let mut source = batch.into_iter();
+        loop {
+            let chunk: Vec<SequencePair> = source.by_ref().take(size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            self.spawn_encode(chunk);
+            while self.pending.len() >= PREFETCH_IN_FLIGHT {
+                self.drain_one(sink);
+            }
+        }
+    }
+
+    /// Dispatches one owned chunk's prep+encode as a task on the worker pool.
+    fn spawn_encode(&mut self, owned: Vec<SequencePair>) {
+        let read_len = self.gpu.config.read_len;
+        let encoding = self.gpu.config.encoding;
+        self.pending.push_back(rayon::spawn(move || {
+            let (encoded, host_prep_seconds, encode_seconds) =
+                encode_stage(&owned, read_len, encoding);
+            EncodedChunk {
+                pairs: owned,
+                encoded,
+                host_prep_seconds,
+                encode_seconds,
+            }
+        }));
+    }
+
+    /// Drains every encode task still in flight, in input order.
+    fn flush<F>(&mut self, sink: &mut F)
+    where
+        F: FnMut(&[SequencePair], Vec<FilterDecision>),
+    {
+        while !self.pending.is_empty() {
+            self.drain_one(sink);
+        }
+    }
+
+    fn drain_one<F>(&mut self, sink: &mut F)
+    where
+        F: FnMut(&[SequencePair], Vec<FilterDecision>),
+    {
+        if let Some(handle) = self.pending.pop_front() {
+            let chunk = handle.join();
+            self.complete_chunk(
+                &chunk.pairs,
+                &chunk.encoded,
+                chunk.host_prep_seconds,
+                chunk.encode_seconds,
+                sink,
+            );
+        }
+    }
+
+    /// Runs the device side of one encoded chunk and records its stages on the
+    /// simulated timeline — identical bookkeeping whether the encode happened
+    /// inline or ahead of time on the pool.
+    fn complete_chunk<F>(
+        &mut self,
+        pairs: &[SequencePair],
+        encoded: &[(PackedSeq, PackedSeq)],
+        host_prep_seconds: f64,
+        encode_seconds: f64,
+        sink: &mut F,
+    ) where
+        F: FnMut(&[SequencePair], Vec<FilterDecision>),
+    {
+        let gpu = self.gpu;
+        let device = gpu.device_stage(pairs.len(), encoded, &mut self.memory, &mut self.profiler);
+        // Page faults sit on the kernel's critical path (§4.3) even though
+        // reporting accounts them as transfer time.
+        let stages = ChunkStageSeconds {
+            h2d_seconds: host_prep_seconds + encode_seconds + device.prefetch_seconds,
+            kernel_seconds: device.fault_seconds + device.kernel_seconds,
+            d2h_seconds: device.readback_seconds,
+        };
+        self.schedule.record_chunk(&stages);
+        self.timing.host_prep_seconds += host_prep_seconds;
+        self.timing.encode_seconds += encode_seconds;
+        self.timing.transfer_seconds += device.prefetch_seconds + device.fault_seconds;
+        self.timing.kernel_seconds += device.kernel_seconds;
+        self.timing.readback_seconds += device.readback_seconds;
+        sink(pairs, device.decisions);
+    }
+
     fn finish(mut self) -> (TimingBreakdown, PipelineReport, RunAggregates) {
+        debug_assert!(
+            self.pending.is_empty(),
+            "pipeline engine finished with encode tasks still in flight"
+        );
         let overlap = self.gpu.config.overlap;
         if overlap && self.schedule.chunks() > 0 {
             self.timing.overlapped_seconds = Some(self.schedule.overlapped_seconds());
         }
-        let report = self.schedule.report(self.plan.chunk_pairs, overlap);
+        self.timing.host_wall_seconds = self.wall_start.elapsed().as_secs_f64();
+        let report = self
+            .schedule
+            .report(self.plan.chunk_pairs, overlap, self.prefetch);
         let aggregates = RunAggregates {
             batches: self.schedule.chunks(),
             memory_stats: self.memory.stats(),
@@ -703,6 +841,81 @@ mod tests {
         // also cut chunks, so the stream sees more kernel launches.
         assert!(streamed.batches >= run.batches);
         assert!(streamed.filter_seconds() > 0.0);
+    }
+
+    #[test]
+    fn host_prefetch_keeps_everything_but_wall_clock_identical() {
+        let set = pairs(3_000);
+        for encoding in [EncodingActor::Host, EncodingActor::Device] {
+            let base = FilterConfig::new(100, 4)
+                .with_encoding(encoding)
+                .with_chunk_pairs(250)
+                .with_overlap(true);
+            let serial = GateKeeperGpu::with_default_device(base).filter_set(&set);
+            let prefetched =
+                GateKeeperGpu::with_default_device(base.with_host_prefetch(true)).filter_set(&set);
+            // Byte-identical decisions and simulated accounting (TimingBreakdown
+            // equality deliberately excludes the measured wall clock).
+            assert_eq!(serial.decisions, prefetched.decisions);
+            assert_eq!(serial.timing, prefetched.timing);
+            assert_eq!(serial.batches, prefetched.batches);
+            assert_eq!(serial.memory_stats, prefetched.memory_stats);
+            assert_eq!(
+                serial.pipeline.overlapped_seconds,
+                prefetched.pipeline.overlapped_seconds
+            );
+            assert_eq!(
+                serial.pipeline.serialized_seconds,
+                prefetched.pipeline.serialized_seconds
+            );
+            // Both runs measured real wall clock.
+            assert!(serial.timing.host_wall_seconds > 0.0);
+            assert!(prefetched.timing.host_wall_seconds > 0.0);
+            assert!(!serial.pipeline.host_prefetch);
+            if rayon::current_num_threads() > 1 {
+                assert!(prefetched.pipeline.host_prefetch);
+            }
+        }
+    }
+
+    #[test]
+    fn host_prefetch_falls_back_to_serial_on_a_one_thread_pool() {
+        let set = pairs(800);
+        let config = FilterConfig::new(100, 4)
+            .with_chunk_pairs(100)
+            .with_host_prefetch(true);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("one-thread pool");
+        let run = pool.install(|| GateKeeperGpu::with_default_device(config).filter_set(&set));
+        // The engine reports that no prefetching actually happened…
+        assert!(!run.pipeline.host_prefetch);
+        // …and the output matches the parallel-pool prefetched run exactly.
+        let reference = GateKeeperGpu::with_default_device(config).filter_set(&set);
+        assert_eq!(run.decisions, reference.decisions);
+        assert_eq!(run.timing, reference.timing);
+    }
+
+    #[test]
+    fn host_prefetch_streaming_matches_materialized() {
+        let profile = DatasetProfile::set3();
+        let set = profile.generate(2_400, 55);
+        let config = FilterConfig::new(100, 5)
+            .with_chunk_pairs(300)
+            .with_overlap(true)
+            .with_host_prefetch(true);
+        let gpu = GateKeeperGpu::with_default_device(config);
+        let materialized = gpu.filter_set(&set);
+        let mut streamed_decisions = Vec::new();
+        let streamed = gpu
+            .filter_stream_with(profile.stream_batches(2_400, 55, 700), |_, decisions| {
+                streamed_decisions.extend_from_slice(decisions)
+            });
+        assert_eq!(streamed.pairs, set.len());
+        assert_eq!(streamed_decisions, materialized.decisions);
+        assert_eq!(streamed.accepted, materialized.accepted());
+        assert_eq!(streamed.pipeline.timing_anomalies, 0);
     }
 
     #[test]

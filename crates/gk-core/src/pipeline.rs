@@ -18,8 +18,14 @@
 //! resolves the chunk size from the [`FilterConfig`] knobs and the
 //! system-configuration step's batch capacity.
 //!
-//! Everything here is *simulated time only*: decisions are computed chunk by
+//! The types here account *simulated time*: decisions are computed chunk by
 //! chunk in input order and are byte-identical whether overlap is on or off.
+//! The engine driving them (`gk-core::gpu`) additionally overlaps real host
+//! work when [`FilterConfig::host_prefetch`] is set — chunk *i+1*'s prep+encode
+//! runs as a worker-pool task while chunk *i*'s kernel closure executes, with
+//! at most [`PREFETCH_IN_FLIGHT`] encoded chunks in flight — shrinking the
+//! *measured* wall-clock (`TimingBreakdown::host_wall_seconds`) without
+//! touching the simulated splits.
 
 use crate::config::{FilterConfig, SystemConfig};
 use crate::timing::TimingBreakdown;
@@ -32,6 +38,13 @@ use std::collections::VecDeque;
 /// Number of buffer slots rotating through the three pipeline stages: chunk
 /// *i*'s upload may only start once chunk *i − 3*'s read-back has freed a slot.
 pub const BUFFER_SLOTS: usize = 3;
+
+/// Maximum number of *encoded* chunks the host-side prefetch keeps in flight:
+/// one being consumed by the kernel closure plus one encoding ahead on the
+/// worker pool. Bounded at `BUFFER_SLOTS − 1` so real memory usage mirrors the
+/// simulated buffer-slot rotation (the third slot is the drained read-back,
+/// which holds no encoded input).
+pub const PREFETCH_IN_FLIGHT: usize = BUFFER_SLOTS - 1;
 
 /// How a pair set is cut into pipeline chunks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -107,6 +120,16 @@ pub struct PipelineReport {
     pub overlapped_seconds: f64,
     /// The same work executed stage after stage, chunk after chunk.
     pub serialized_seconds: f64,
+    /// Whether the run's host side actually prefetched: chunk *i+1*'s
+    /// prep+encode executed on the worker pool while chunk *i*'s kernel
+    /// closure ran. `false` when the knob was off *or* the pool was
+    /// sequential (`RAYON_NUM_THREADS=1` fallback).
+    pub host_prefetch: bool,
+    /// Ill-formed simulated durations saturated to zero by the timeline (see
+    /// `gk_gpusim::stream::Stream::anomalies`). Always `0` on a healthy run;
+    /// non-zero means a release build absorbed what a debug build would have
+    /// asserted on, and the reported makespan is a lower bound.
+    pub timing_anomalies: u64,
 }
 
 impl PipelineReport {
@@ -211,13 +234,15 @@ impl PipelineSchedule {
     }
 
     /// Builds the report for a finished run.
-    pub fn report(&self, chunk_pairs: usize, overlap: bool) -> PipelineReport {
+    pub fn report(&self, chunk_pairs: usize, overlap: bool, host_prefetch: bool) -> PipelineReport {
         PipelineReport {
             chunks: self.chunks,
             chunk_pairs,
             overlap,
             overlapped_seconds: self.overlapped_seconds(),
             serialized_seconds: self.serialized_seconds(),
+            host_prefetch,
+            timing_anomalies: self.timeline.anomalies(),
         }
     }
 }
@@ -348,7 +373,9 @@ mod tests {
             schedule.record_chunk(&stages);
         }
         assert_eq!(schedule.chunks(), 8);
-        let report = schedule.report(100, true);
+        let report = schedule.report(100, true, false);
+        assert!(!report.host_prefetch);
+        assert_eq!(report.timing_anomalies, 0);
         assert!((report.serialized_seconds - 8.0).abs() < 1e-12);
         // Steady state: the kernel stream dominates after the first fill and
         // before the last drain: 0.3 + 8 × 0.5 + 0.2 = 4.5 s.

@@ -126,12 +126,20 @@ pub fn gatekeeper_kernel(
         };
     }
 
-    // Approximate matching: build the 2e + 1 masks.
-    let mut masks: Vec<BaseMask> = Vec::with_capacity(2 * e as usize + 1);
+    // Approximate matching: build the shifted masks. Shift distances are
+    // clamped below the sequence length: a shift by `k ≥ len` vacates every
+    // position, so its mask carries no alignment information — with the
+    // boundary fix it is all 1s (AND-neutral) and without it it compares the
+    // reference against nothing. Building those masks anyway used to make the
+    // mask count (and the allocation) proportional to `e` even for `e` far
+    // beyond the read length, which for huge thresholds aborted on allocation;
+    // `e ≥ len` now degrades to the full set of meaningful shifts.
+    let max_shift = (e as usize).min(len.saturating_sub(1));
+    let mut masks: Vec<BaseMask> = Vec::with_capacity(2 * max_shift + 1);
     hamming.amend_short_zero_runs(config.amend_run_len);
     masks.push(hamming);
 
-    for k in 1..=e as usize {
+    for k in 1..=max_shift {
         // Deletion mask: read shifted towards higher positions by k bases.
         let shifted = shift_right_bases(read.words(), k);
         let mut del_mask = xor_to_base_mask(&shifted, reference.words(), len);
@@ -490,6 +498,63 @@ mod tests {
     fn empty_pair_is_accepted() {
         let filter = GateKeeperGpuFilter::new(3);
         assert!(filter.filter_pair(b"", b"").accepted);
+    }
+
+    /// Regression: thresholds at and beyond the read length. The shifted masks
+    /// for `k ≥ len` are fully vacated (all 1s after the boundary fix), so the
+    /// filter must behave exactly as with every meaningful shift built — and
+    /// since any two length-`len` sequences align within `len` edits, `e ≥ len`
+    /// must accept every pair, never blanket-reject or blow up.
+    #[test]
+    fn thresholds_at_and_beyond_read_length_are_well_defined() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let len = 24usize;
+        for _ in 0..50 {
+            let a = random_seq(len, &mut rng);
+            let b = random_seq(len, &mut rng);
+            let reference = GateKeeperGpuFilter::new(len as u32 - 1).filter_pair(&a, &b);
+            for e in [len as u32, len as u32 + 1, 4 * len as u32] {
+                let d = GateKeeperGpuFilter::new(e).filter_pair(&a, &b);
+                // e ≥ len: true distance ≤ len ≤ e, so everything is accepted…
+                assert!(d.accepted, "e = {e} must accept");
+                assert!(d.estimated_edits <= len as u32);
+                // …and the degenerate shifts change nothing versus e = len − 1
+                // beyond the threshold comparison itself.
+                assert_eq!(d.estimated_edits, reference.estimated_edits);
+            }
+            // The FPGA variant's masks for k < len are unchanged by the clamp.
+            let fpga_low = GateKeeperFpgaFilter::new(len as u32 - 1).filter_pair(&a, &b);
+            let fpga_high = GateKeeperFpgaFilter::new(2 * len as u32).filter_pair(&a, &b);
+            assert!(fpga_high.accepted);
+            assert!(fpga_low.estimated_edits >= fpga_high.estimated_edits);
+        }
+    }
+
+    /// Regression: a huge threshold used to allocate `2e + 1` masks up front
+    /// (hundreds of gigabytes for `e = u32::MAX`), aborting the process. The
+    /// shift clamp bounds the mask count by the read length instead.
+    #[test]
+    fn huge_thresholds_do_not_allocate_per_error_masks() {
+        let read = b"ACGTACGTACGTACGT";
+        let reference = b"TGCATGCATGCATGCA";
+        for e in [100_000u32, u32::MAX] {
+            let d = GateKeeperGpuFilter::new(e).filter_pair(read, reference);
+            assert!(d.accepted, "e = {e}");
+            assert!(d.estimated_edits <= read.len() as u32);
+            let fpga = GateKeeperFpgaFilter::new(e).filter_pair(read, reference);
+            assert!(fpga.accepted, "e = {e}");
+        }
+    }
+
+    #[test]
+    fn single_base_pairs_survive_any_threshold() {
+        for e in [0u32, 1, 2, 100] {
+            let same = GateKeeperGpuFilter::new(e).filter_pair(b"A", b"A");
+            assert!(same.accepted, "e = {e}");
+            let diff = GateKeeperGpuFilter::new(e).filter_pair(b"A", b"T");
+            // A single substitution: rejected only under exact matching.
+            assert_eq!(diff.accepted, e >= 1, "e = {e}");
+        }
     }
 
     #[test]

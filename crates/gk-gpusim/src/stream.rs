@@ -15,6 +15,10 @@ pub struct Stream {
     pub name: String,
     cursor_seconds: f64,
     operations: Vec<(String, f64)>,
+    /// Number of ill-formed durations that were saturated to zero (see
+    /// [`Stream::enqueue`]). Always `0` on a healthy timeline; release builds
+    /// surface the count instead of silently distorting makespans.
+    anomalies: u64,
 }
 
 impl Stream {
@@ -24,20 +28,27 @@ impl Stream {
             name: name.into(),
             cursor_seconds: 0.0,
             operations: Vec::new(),
+            anomalies: 0,
         }
     }
 
     /// Enqueues an operation lasting `seconds`; returns its completion time.
     ///
-    /// Durations must be non-negative: a negative duration is a caller bug
-    /// (debug builds assert), and in release builds it is **clamped to zero**
-    /// so the timeline stays monotonic rather than silently running backwards.
+    /// Durations must be non-negative (NaN is ill-formed too): a bad duration
+    /// is a caller bug (debug builds assert), and in release builds it is
+    /// **saturated to zero** so the timeline stays monotonic rather than
+    /// silently running backwards — with the clamp recorded in
+    /// [`Stream::anomalies`] so release-mode distortion is observable instead
+    /// of silent.
     pub fn enqueue(&mut self, label: impl Into<String>, seconds: f64) -> f64 {
         debug_assert!(
             seconds >= 0.0,
             "negative duration {seconds} enqueued on stream `{}`",
             self.name
         );
+        if seconds < 0.0 || seconds.is_nan() {
+            self.anomalies += 1;
+        }
         let seconds = seconds.max(0.0);
         self.cursor_seconds += seconds;
         self.operations.push((label.into(), seconds));
@@ -86,6 +97,13 @@ impl Stream {
     pub fn operations(&self) -> &[(String, f64)] {
         &self.operations
     }
+
+    /// Number of ill-formed durations saturated to zero on this stream.
+    /// Non-zero means a release build hit a condition that would have asserted
+    /// in a debug build; the makespan is a lower bound from that point on.
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
 }
 
 /// A simulated CUDA event: a point on a stream's timeline.
@@ -106,7 +124,8 @@ impl Event {
     /// `later` must not precede `self`: a reversed pair is a caller bug (debug
     /// builds assert), and in release builds the result is **clamped to zero**
     /// so elapsed times never run negative — the same contract as
-    /// [`Stream::enqueue`]'s duration clamp.
+    /// [`Stream::enqueue`]'s duration clamp. Callers that need to *detect* the
+    /// reversal instead of absorbing it use [`Event::try_elapsed_until`].
     pub fn elapsed_until(&self, later: &Event) -> f64 {
         debug_assert!(
             later.at_seconds >= self.at_seconds,
@@ -115,6 +134,17 @@ impl Event {
             later.at_seconds
         );
         (later.at_seconds - self.at_seconds).max(0.0)
+    }
+
+    /// Checked elapsed time: `None` when the events are reversed (`later`
+    /// precedes `self`), making the release-mode clamp of
+    /// [`Event::elapsed_until`] observable to callers in every build profile.
+    pub fn try_elapsed_until(&self, later: &Event) -> Option<f64> {
+        if later.at_seconds >= self.at_seconds {
+            Some(later.at_seconds - self.at_seconds)
+        } else {
+            None
+        }
     }
 }
 
@@ -151,10 +181,35 @@ mod tests {
 
     #[test]
     #[cfg(not(debug_assertions))]
-    fn negative_durations_are_clamped_in_release_builds() {
+    fn negative_durations_are_clamped_and_counted_in_release_builds() {
         let mut s = Stream::new("test");
         s.enqueue("weird", -1.0);
         assert_eq!(s.synchronize(), 0.0);
+        // The clamp is observable: the stream records the anomaly.
+        assert_eq!(s.anomalies(), 1);
+        s.enqueue("nan", f64::NAN);
+        assert_eq!(s.anomalies(), 2);
+        s.enqueue("fine", 0.5);
+        assert_eq!(s.anomalies(), 2);
+        assert_eq!(s.synchronize(), 0.5);
+    }
+
+    #[test]
+    fn healthy_streams_record_no_anomalies() {
+        let mut s = Stream::new("test");
+        s.enqueue("a", 0.1);
+        s.enqueue("b", 0.0);
+        assert_eq!(s.anomalies(), 0);
+    }
+
+    #[test]
+    fn try_elapsed_detects_reversed_events_in_every_profile() {
+        let mut s = Stream::new("test");
+        let start = s.record_event();
+        s.enqueue("kernel", 0.25);
+        let end = s.record_event();
+        assert!((start.try_elapsed_until(&end).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(end.try_elapsed_until(&start), None);
     }
 
     #[test]

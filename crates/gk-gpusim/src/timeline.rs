@@ -87,6 +87,14 @@ impl Timeline {
     pub fn overlap_savings_seconds(&self) -> f64 {
         (self.serialized_seconds() - self.makespan_seconds()).max(0.0)
     }
+
+    /// Total ill-formed durations saturated to zero across all streams (see
+    /// [`Stream::anomalies`]). Non-zero means the makespan and serialized sum
+    /// are lower bounds: a release build absorbed what a debug build would
+    /// have asserted on.
+    pub fn anomalies(&self) -> u64 {
+        self.streams.iter().map(|s| s.anomalies()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -162,5 +170,31 @@ mod tests {
         let tl = Timeline::new();
         assert_eq!(tl.makespan_seconds(), 0.0);
         assert_eq!(tl.serialized_seconds(), 0.0);
+        assert_eq!(tl.anomalies(), 0);
+    }
+
+    #[test]
+    fn healthy_timelines_report_zero_anomalies() {
+        let mut tl = Timeline::new();
+        let a = tl.add_stream("a");
+        let b = tl.add_stream("b");
+        tl.enqueue(a, "x", 1.0);
+        tl.enqueue(b, "y", 0.0);
+        assert_eq!(tl.anomalies(), 0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn release_clamps_surface_as_timeline_anomalies() {
+        let mut tl = Timeline::new();
+        let a = tl.add_stream("a");
+        let b = tl.add_stream("b");
+        tl.enqueue(a, "bad", -2.0);
+        tl.enqueue(b, "also bad", -1.0);
+        tl.enqueue(b, "fine", 0.5);
+        assert_eq!(tl.anomalies(), 2);
+        // The clamped operations contribute nothing to either accounting.
+        assert_eq!(tl.makespan_seconds(), 0.5);
+        assert_eq!(tl.serialized_seconds(), 0.5);
     }
 }

@@ -75,6 +75,17 @@ pub enum FastqError {
         /// Identifier of the offending record.
         id: String,
     },
+    /// Quality string contains a byte outside the printable Phred+33 range
+    /// (`'!'`..=`'~'`). Mapping such bytes to quality 0 would silently mask
+    /// malformed input, so they are rejected at parse time instead.
+    InvalidQuality {
+        /// Identifier of the offending record.
+        id: String,
+        /// The offending byte.
+        byte: u8,
+        /// 0-based position of the byte within the quality string.
+        position: usize,
+    },
     /// File ended in the middle of a record.
     TruncatedRecord {
         /// Identifier of the partial record, if the header was read.
@@ -92,6 +103,13 @@ impl fmt::Display for FastqError {
                 write!(
                     f,
                     "record {id}: quality length differs from sequence length"
+                )
+            }
+            FastqError::InvalidQuality { id, byte, position } => {
+                write!(
+                    f,
+                    "record {id}: quality byte 0x{byte:02x} at position {position} \
+                     is outside the Phred+33 range '!'..='~'"
                 )
             }
             FastqError::TruncatedRecord { id } => match id {
@@ -148,6 +166,15 @@ pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<FastqRecord>, FastqError> {
         };
         if quality.len() != sequence.len() {
             return Err(FastqError::LengthMismatch { id });
+        }
+        // Phred+33 qualities are printable ASCII: '!' (Phred 0) through '~'
+        // (Phred 93). Anything else is a malformed record, not quality 0.
+        if let Some(position) = quality.iter().position(|&q| !(b'!'..=b'~').contains(&q)) {
+            return Err(FastqError::InvalidQuality {
+                id,
+                byte: quality[position],
+                position,
+            });
         }
         records.push(FastqRecord {
             id,
@@ -230,6 +257,44 @@ mod tests {
             read_fastq(&data[..]),
             Err(FastqError::TruncatedRecord { .. })
         ));
+    }
+
+    #[test]
+    fn out_of_range_quality_bytes_are_rejected_not_masked() {
+        // A space (0x20) is below '!' and used to be silently mapped to
+        // quality 0 by `saturating_sub(33)`; it must be a parse error.
+        let data = b"@r1\nACGT\n+\nII I\n";
+        match read_fastq(&data[..]) {
+            Err(FastqError::InvalidQuality { id, byte, position }) => {
+                assert_eq!(id, "r1");
+                assert_eq!(byte, b' ');
+                assert_eq!(position, 2);
+            }
+            other => panic!("expected InvalidQuality, got {other:?}"),
+        }
+        // Bytes above '~' (e.g. DEL = 0x7f) are equally malformed.
+        let data = b"@r1\nACGT\n+\nII\x7fI\n";
+        assert!(matches!(
+            read_fastq(&data[..]),
+            Err(FastqError::InvalidQuality { byte: 0x7f, .. })
+        ));
+        // The full valid Phred+33 range still parses.
+        let data = b"@r1\nACGT\n+\n!I5~\n";
+        let records = read_fastq(&data[..]).unwrap();
+        assert_eq!(records[0].quality, b"!I5~".to_vec());
+    }
+
+    #[test]
+    fn invalid_quality_error_message_names_the_byte() {
+        let err = FastqError::InvalidQuality {
+            id: "r9".to_string(),
+            byte: 0x1f,
+            position: 4,
+        };
+        let message = err.to_string();
+        assert!(message.contains("r9"));
+        assert!(message.contains("0x1f"));
+        assert!(message.contains("position 4"));
     }
 
     #[test]
