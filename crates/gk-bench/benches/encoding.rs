@@ -1,8 +1,11 @@
-//! Criterion bench: host-side 2-bit encoding cost (the "encoding actor" trade-off
-//! of Figure 6 — host encoding buys smaller transfers at the price of this work).
+//! Criterion bench: host-side prep cost per encoding actor (the trade-off of
+//! Figure 6 — host encoding buys smaller transfers at the price of the 2-bit
+//! packing work here; device encoding only pays the raw-arena gather).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gk_seq::datasets::DatasetProfile;
 use gk_seq::packed::{encode_batch_parallel, PackedSeq};
+use gk_seq::pairs::encode_pair_batch;
 use std::hint::black_box;
 
 fn bench_encoding(c: &mut Criterion) {
@@ -43,5 +46,38 @@ fn bench_encoding(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encoding);
+/// The per-batch host prep of the two execution paths, head to head: the
+/// host-encode path runs `encode_pair_batch` (2-bit packing), the
+/// device-encode path only gathers the raw transfer arenas
+/// (`PairBatches::raw()`) and leaves the packing to the fused kernel.
+fn bench_prep_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prep_paths");
+    group.sample_size(20);
+
+    let profile = DatasetProfile::set3();
+    let pairs = 4_096usize;
+    let batch = 512usize;
+    group.throughput(Throughput::Elements(pairs as u64));
+
+    group.bench_function(BenchmarkId::new("host_encode", "set3"), |b| {
+        b.iter(|| {
+            profile
+                .stream_batches(pairs, 11, batch)
+                .map(|chunk| encode_pair_batch(black_box(&chunk)).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function(BenchmarkId::new("raw_gather", "set3"), |b| {
+        b.iter(|| {
+            profile
+                .stream_batches(pairs, 11, batch)
+                .raw()
+                .map(|arena| black_box(arena.h2d_bytes()))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_prep_paths);
 criterion_main!(benches);

@@ -1,9 +1,14 @@
 //! Criterion bench: batched GateKeeper-GPU runs on the simulated device — wall
 //! clock cost of processing a pair set as a function of batch size and encoding
 //! actor (the knob explored by Table 1 and Figure 6).
+//!
+//! The two `gpu_batch` rows per batch size are genuinely different execution
+//! paths, printed side by side: `device_encode` gathers raw 1-byte-per-base
+//! arenas and packs inside the fused kernel closure, `host_encode` runs
+//! `encode_pair_batch` on the pool before the (smaller) simulated transfer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gk_core::config::{EncodingActor, FilterConfig};
+use gk_core::config::FilterConfig;
 use gk_core::gpu::GateKeeperGpu;
 use gk_seq::datasets::DatasetProfile;
 use std::hint::black_box;
@@ -16,15 +21,16 @@ fn bench_gpu_batches(c: &mut Criterion) {
     group.throughput(Throughput::Elements(set.len() as u64));
 
     for batch_size in [250usize, 1_000, 4_000] {
-        for encoding in [EncodingActor::Device, EncodingActor::Host] {
-            let label = match encoding {
-                EncodingActor::Device => "device_encoded",
-                EncodingActor::Host => "host_encoded",
+        for device_encode in [true, false] {
+            let label = if device_encode {
+                "device_encode"
+            } else {
+                "host_encode"
             };
             group.bench_with_input(BenchmarkId::new(label, batch_size), &set, |b, set| {
                 let gpu = GateKeeperGpu::with_default_device(
                     FilterConfig::new(100, 5)
-                        .with_encoding(encoding)
+                        .with_device_encode(device_encode)
                         .with_max_reads_per_batch(batch_size),
                 );
                 b.iter(|| gpu.filter_set(black_box(set)).accepted())

@@ -7,6 +7,7 @@
 //! observable. The 1-thread row is the sequential fallback.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gk_bench::runner::shared_pool;
 use gk_core::cpu::GateKeeperCpu;
 use gk_seq::datasets::DatasetProfile;
 use gk_seq::pairs::encode_pair_batch;
@@ -23,7 +24,10 @@ fn bench_pool_scaling(c: &mut Criterion) {
             BenchmarkId::new("gatekeeper_cpu", format!("{threads}t")),
             &threads,
             |b, &threads| {
-                let filter = GateKeeperCpu::new(4, threads);
+                // Reuse the process-wide pool for this thread count: the bench
+                // measures filtering, not worker spawn-up (and repeated
+                // Criterion samples must not leak one pool per iteration).
+                let filter = GateKeeperCpu::with_pool(4, threads, shared_pool(threads));
                 b.iter(|| black_box(&filter).filter_set(black_box(&pairs)).accepted())
             },
         );

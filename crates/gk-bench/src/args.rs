@@ -10,8 +10,12 @@
 //! * `--chunk N` — pipeline chunk size in pairs (0 = auto);
 //! * `--serialized` — disable stream overlap (three stages run back to back);
 //! * `--host-serial` — disable the host-side prefetch (serial host compute);
+//! * `--device-encode` — use the device-side encoding execution path (raw
+//!   1-byte-per-base uploads + fused encode+filter kernel) instead of host
+//!   `encode_pair_batch`;
 //! * `--full` — run the complete sweep instead of the representative subset;
-//! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions.
+//! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions;
+//! * `--help` / `-h` — print the flag reference and exit.
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +31,9 @@ pub struct HarnessArgs {
     /// Disable the host-side prefetch (encode of chunk i+1 on the worker pool
     /// while chunk i's kernel closure runs); the host computes chunks serially.
     pub host_serial: bool,
+    /// Use the device-side encoding execution path: upload raw reads and let
+    /// the fused kernel do the 2-bit packing (no host `encode_pair_batch`).
+    pub device_encode: bool,
     /// Include the Minimap2/BWA-MEM candidate profiles (Figure S.5/S.6).
     pub mapper_profiles: bool,
     /// Include the additional real-set rows of Table S.26.
@@ -34,9 +41,38 @@ pub struct HarnessArgs {
 }
 
 impl HarnessArgs {
-    /// Parses from the process arguments.
+    /// Parses from the process arguments. `--help` / `-h` prints the shared
+    /// flag reference and exits.
     pub fn parse() -> HarnessArgs {
-        HarnessArgs::parse_from(std::env::args().skip(1).collect())
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", HarnessArgs::usage());
+            std::process::exit(0);
+        }
+        HarnessArgs::parse_from(args)
+    }
+
+    /// The shared flag reference printed by `--help`.
+    pub fn usage() -> &'static str {
+        "Shared harness flags (every gk-bench binary):\n\
+         \n\
+         \x20 --pairs N          number of pairs per dataset (default varies per experiment)\n\
+         \x20 --reads N          number of reads for mapper experiments\n\
+         \x20 --genome N         synthetic reference length for mapper experiments\n\
+         \x20 --chunk N          pipeline chunk size in pairs (0 = auto-size)\n\
+         \x20 --serialized       disable stream overlap (stages run back to back)\n\
+         \x20 --host-serial      disable the host-side prefetch (serial host compute)\n\
+         \x20 --device-encode    device-side encoding path: upload raw reads, 2-bit pack\n\
+         \x20                    inside the fused encode+filter kernel (~4x H2D bytes,\n\
+         \x20                    zero host encode time); default is host encoding\n\
+         \x20 --full             run the complete sweep / paper-sized input\n\
+         \x20 --mapper-profiles  include the Minimap2/BWA-MEM candidate profiles\n\
+         \x20 --extra-sets       include the additional real-set rows\n\
+         \x20 --help, -h         print this reference and exit\n\
+         \n\
+         streaming_scale example (1M-pair smoke, both encode paths):\n\
+         \x20 cargo run --release -p gk-bench --bin streaming_scale -- \\\n\
+         \x20     --pairs 1000000 --device-encode"
     }
 
     /// Parses from an explicit argument list (used in tests).
@@ -51,6 +87,7 @@ impl HarnessArgs {
                 "--chunk" => parsed.chunk = iter.next().and_then(|v| v.parse().ok()),
                 "--serialized" => parsed.serialized = true,
                 "--host-serial" => parsed.host_serial = true,
+                "--device-encode" => parsed.device_encode = true,
                 "--full" => parsed.full = true,
                 "--mapper-profiles" => parsed.mapper_profiles = true,
                 "--extra-sets" => parsed.extra_sets = true,
@@ -111,10 +148,33 @@ mod tests {
             "--full".into(),
             "--serialized".into(),
             "--host-serial".into(),
+            "--device-encode".into(),
         ]);
         assert!(args.mapper_profiles && args.extra_sets && args.full && args.serialized);
         assert!(args.host_serial);
+        assert!(args.device_encode);
         assert!(!HarnessArgs::parse_from(vec![]).host_serial);
+        assert!(!HarnessArgs::parse_from(vec![]).device_encode);
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let usage = HarnessArgs::usage();
+        for flag in [
+            "--pairs",
+            "--reads",
+            "--genome",
+            "--chunk",
+            "--serialized",
+            "--host-serial",
+            "--device-encode",
+            "--full",
+            "--mapper-profiles",
+            "--extra-sets",
+            "--help",
+        ] {
+            assert!(usage.contains(flag), "usage is missing {flag}");
+        }
     }
 
     #[test]

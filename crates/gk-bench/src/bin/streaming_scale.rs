@@ -8,14 +8,24 @@
 //! is also generated ahead on the pool) and once with the serial host path —
 //! and reports the measured host wall-clock of both next to the simulated
 //! timeline, verifying along the way that the decisions are byte-identical.
-//! `--full` uses the paper's 30 million pairs in a single prefetch-on pass;
+//!
+//! `--device-encode` switches the comparison axis to the **encoding actor**:
+//! one pass on the device-side encoding path (raw 1-byte-per-base uploads,
+//! fused encode+filter kernel, zero host encode time) and one on the host
+//! path, same seeded stream, asserting digest-identical decisions and a
+//! strictly lower host-side encode share for the device pass. This mode also
+//! emits a Markdown comparison table between `<!-- encode-modes:begin/end -->`
+//! markers so CI can lift it straight into the job summary.
+//!
+//! `--full` uses the paper's 30 million pairs in a single pass;
 //! `--host-serial` forces a single pass on the serial host path (no pool
 //! prefetch work is spawned at all). Memory stays bounded by the source batch
 //! size plus the bounded number of encoded chunks in flight regardless of
 //! `--pairs`.
 //!
 //! Usage: `cargo run --release -p gk-bench --bin streaming_scale
-//!         [--pairs N] [--full] [--chunk N] [--serialized] [--host-serial]`
+//!         [--pairs N] [--full] [--chunk N] [--serialized] [--host-serial]
+//!         [--device-encode] [--help]`
 
 use gk_bench::datasets::PAPER_SET_SIZE;
 use gk_bench::runner::streaming_gpu_throughput_with;
@@ -57,9 +67,7 @@ struct MeasuredRun {
     wall_seconds: f64,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn measure(
-    profile: &DatasetProfile,
+struct RunSpec {
     pairs: usize,
     seed: u64,
     source_batch: usize,
@@ -67,18 +75,21 @@ fn measure(
     overlap: bool,
     chunk: usize,
     host_prefetch: bool,
-) -> MeasuredRun {
+    encoding: EncodingActor,
+}
+
+fn measure(profile: &DatasetProfile, spec: &RunSpec) -> MeasuredRun {
     let mut digest = DecisionDigest::default();
     let wall_start = Instant::now();
-    let source = profile.stream_batches(pairs, seed, source_batch);
+    let source = profile.stream_batches(spec.pairs, spec.seed, spec.source_batch);
     let run = streaming_gpu_throughput_with(
         &SETUP1,
         source,
-        threshold,
-        EncodingActor::Host,
-        overlap,
-        chunk,
-        host_prefetch,
+        spec.threshold,
+        spec.encoding,
+        spec.overlap,
+        spec.chunk,
+        spec.host_prefetch,
         |_, decisions| digest.update(decisions),
     );
     MeasuredRun {
@@ -100,6 +111,23 @@ fn print_run(label: &str, measured: &MeasuredRun) {
         run.batches, run.pipeline.chunk_pairs
     );
     println!("host prefetch active    : {}", run.pipeline.host_prefetch);
+    println!(
+        "encoding actor          : {}",
+        if run.pipeline.device_encode {
+            "device (raw upload + fused encode+filter kernel)"
+        } else {
+            "host (encode_pair_batch before the transfer)"
+        }
+    );
+    println!(
+        "host encode time        : {} s ({} of serialized filter time)",
+        fmt(run.timing.encode_seconds, 4),
+        fmt_percent(run.timing.host_encode_share())
+    );
+    println!(
+        "in-kernel encode share  : {} s (inside the kernel time)",
+        fmt(run.timing.encode_device_seconds, 4)
+    );
     println!("simulated timeline (three streams: encode+H2D / kernel / D2H):");
     println!(
         "  serialized stages       : {} s",
@@ -139,9 +167,77 @@ fn print_run(label: &str, measured: &MeasuredRun) {
         run.memory_stats.bytes_to_host as f64 / (1024.0 * 1024.0)
     );
     println!(
-        "measured host wall-clock: {} s (functional simulation; resident set bounded by one source\n                          batch plus the in-flight encoded chunks)",
+        "measured host wall-clock: {} s (functional simulation; resident set bounded by one source\n                          batch plus the in-flight prepped chunks)",
         fmt(measured.wall_seconds, 1)
     );
+    println!();
+}
+
+fn fmt_percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// One Markdown table row of the encode-mode comparison.
+fn summary_row(mode: &str, measured: &MeasuredRun) -> String {
+    let run = &measured.run;
+    format!(
+        "| {mode} | `{:#018x}` | {} | {} | {} | {} | {} | {:.1} | {} |",
+        measured.digest,
+        fmt(run.timing.encode_seconds, 4),
+        fmt(run.timing.encode_device_seconds, 4),
+        fmt_percent(run.timing.host_encode_share()),
+        fmt(run.filter_seconds(), 4),
+        fmt(run.kernel_seconds(), 4),
+        run.memory_stats.bytes_to_device as f64 / (1024.0 * 1024.0),
+        fmt(measured.wall_seconds, 1)
+    )
+}
+
+fn compare_encode_modes(device: &MeasuredRun, host: &MeasuredRun, pairs: usize, threshold: u32) {
+    assert_eq!(
+        device.digest, host.digest,
+        "decision streams diverged between encode modes — device-encode bug"
+    );
+    assert_eq!(device.run.accepted, host.run.accepted);
+    assert_eq!(device.run.undefined, host.run.undefined);
+    assert!(
+        device.run.timing.host_encode_share() < host.run.timing.host_encode_share(),
+        "device encode must have a strictly lower host-side encode share"
+    );
+    assert_eq!(device.run.timing.encode_seconds, 0.0);
+    assert!(device.run.timing.encode_device_seconds > 0.0);
+
+    println!("=== device encode vs. host encode ===");
+    println!(
+        "decisions               : byte-identical (digest {:#018x})",
+        device.digest
+    );
+    println!(
+        "host encode time        : {} s (device path) vs {} s (host path)",
+        fmt(device.run.timing.encode_seconds, 4),
+        fmt(host.run.timing.encode_seconds, 4)
+    );
+    println!(
+        "simulated filter time   : {} s (device) vs {} s (host)",
+        fmt(device.run.filter_seconds(), 4),
+        fmt(host.run.filter_seconds(), 4)
+    );
+    println!();
+
+    // Markdown block for the CI job summary (lifted verbatim by the workflow).
+    println!("<!-- encode-modes:begin -->");
+    println!("### `streaming_scale` encode-mode comparison ({pairs} pairs, e = {threshold})");
+    println!();
+    println!("| mode | decisions digest | host encode s | in-kernel encode s | host encode share | filter s | kernel s | H2D MiB | wall s |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    println!("{}", summary_row("device", device));
+    println!("{}", summary_row("host", host));
+    println!();
+    println!(
+        "Decisions byte-identical across encode modes: **yes** (digest `{:#018x}`).",
+        device.digest
+    );
+    println!("<!-- encode-modes:end -->");
     println!();
 }
 
@@ -160,20 +256,37 @@ fn main() {
     let seed = 0x6B67_5F73;
     let profile = DatasetProfile::set3();
 
+    let primary_encoding = if args.device_encode {
+        EncodingActor::Device
+    } else {
+        EncodingActor::Host
+    };
     println!(
         "Streaming GateKeeper-GPU scale run ({} profile)",
         profile.name
     );
     println!(
-        "pairs = {pairs}, source batch = {source_batch}, requested chunk = {chunk}, e = {threshold}, overlap = {}, pool threads = {}\n",
+        "pairs = {pairs}, source batch = {source_batch}, requested chunk = {chunk}, e = {threshold}, overlap = {}, encoding = {primary_encoding:?}, pool threads = {}\n",
         !args.serialized,
         rayon::current_num_threads()
     );
 
     // --full and --host-serial are single passes (--host-serial must not spawn
-    // any pool prefetch work); the default compares both host modes.
+    // any pool prefetch work); otherwise the run compares two modes over the
+    // same seeded stream: encode device-vs-host with --device-encode, host
+    // prefetch on-vs-off without it.
     let compare_modes = !args.full && !args.host_serial;
     let primary_prefetch = !args.host_serial;
+    let spec = |encoding: EncodingActor, host_prefetch: bool, pairs: usize| RunSpec {
+        pairs,
+        seed,
+        source_batch,
+        threshold,
+        overlap: !args.serialized,
+        chunk,
+        host_prefetch,
+        encoding,
+    };
 
     if compare_modes {
         // Throwaway warmup so neither measured run pays first-touch costs
@@ -181,46 +294,29 @@ fn main() {
         // otherwise be biased against whichever mode runs first.
         let _ = measure(
             &profile,
-            pairs.min(250_000),
-            seed,
-            source_batch,
-            threshold,
-            !args.serialized,
-            chunk,
-            primary_prefetch,
+            &spec(primary_encoding, primary_prefetch, pairs.min(250_000)),
         );
     }
 
-    let primary = measure(
-        &profile,
-        pairs,
-        seed,
-        source_batch,
-        threshold,
-        !args.serialized,
-        chunk,
-        primary_prefetch,
-    );
+    let primary = measure(&profile, &spec(primary_encoding, primary_prefetch, pairs));
     print_run(
-        if primary_prefetch {
-            "host prefetch ON (encode of chunk i+1 overlaps chunk i's kernel)"
-        } else {
-            "host prefetch OFF (serial host compute)"
+        match (args.device_encode, primary_prefetch) {
+            (true, _) => "device encode (raw upload, fused encode+filter kernel)",
+            (false, true) => "host prefetch ON (encode of chunk i+1 overlaps chunk i's kernel)",
+            (false, false) => "host prefetch OFF (serial host compute)",
         },
         &primary,
     );
 
-    if compare_modes {
-        let secondary = measure(
+    if compare_modes && args.device_encode {
+        let host = measure(
             &profile,
-            pairs,
-            seed,
-            source_batch,
-            threshold,
-            !args.serialized,
-            chunk,
-            !primary_prefetch,
+            &spec(EncodingActor::Host, primary_prefetch, pairs),
         );
+        print_run("host encode (encode_pair_batch before the transfer)", &host);
+        compare_encode_modes(&primary, &host, pairs, threshold);
+    } else if compare_modes {
+        let secondary = measure(&profile, &spec(primary_encoding, !primary_prefetch, pairs));
         print_run(
             if primary_prefetch {
                 "host prefetch OFF (serial host compute)"
@@ -259,14 +355,18 @@ fn main() {
         println!();
     }
 
-    println!(
-        "Expected shape (paper, §3.4): prefetching the next batch on separate streams while the"
-    );
-    println!("kernel runs hides most of the transfer, so the overlapped filter time beats the serialized");
-    println!(
-        "sum on every multi-chunk run; the host-side prefetch makes the same trick real on the"
-    );
-    println!(
-        "host, shrinking measured wall-clock on multi-core machines with identical decisions."
-    );
+    if args.device_encode {
+        println!("Expected shape (paper, §3.3/Figure 6): device encoding ships ~4x the bytes but removes");
+        println!("the host encode stage entirely, so filter time drops while kernel time absorbs a small");
+        println!("in-kernel packing share; decisions are byte-identical in both modes.");
+    } else {
+        println!("Expected shape (paper, §3.4): prefetching the next batch on separate streams while the");
+        println!("kernel runs hides most of the transfer, so the overlapped filter time beats the serialized");
+        println!(
+            "sum on every multi-chunk run; the host-side prefetch makes the same trick real on the"
+        );
+        println!(
+            "host, shrinking measured wall-clock on multi-core machines with identical decisions."
+        );
+    }
 }

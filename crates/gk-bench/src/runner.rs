@@ -104,7 +104,11 @@ pub fn cpu_throughput(set: &PairSet, threshold: u32, cores: usize) -> Throughput
 
 /// Drives a streaming pair source through GateKeeper-GPU on one device of a
 /// setup without materializing the pair set; the source's read length sizes
-/// the filter configuration. With `host_prefetch` on, the pipeline encodes
+/// the filter configuration. `encoding` selects the execution path:
+/// [`EncodingActor::Device`] uploads raw reads and packs inside the fused
+/// encode+filter kernel (no host `encode_pair_batch` at all),
+/// [`EncodingActor::Host`] encodes on the pool before the transfer. With
+/// `host_prefetch` on, the pipeline preps
 /// chunk *i+1* on the worker pool while chunk *i*'s kernel closure runs — the
 /// measured-wall-clock counterpart of the simulated stream overlap. On pools
 /// with at least three workers the source additionally generates the next

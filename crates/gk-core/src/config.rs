@@ -81,6 +81,30 @@ impl FilterConfig {
         self
     }
 
+    /// Selects the **device-side encoding execution path** (`true`) or the
+    /// host-encode path (`false`). With device encode on, the pipeline's prep
+    /// stage skips `encode_pair_batch` entirely: chunks are gathered into raw
+    /// 1-byte-per-base transfer arenas (`gk_seq::raw::RawPairBatch`, sliced
+    /// zero-copy), the H2D transfer carries ~4× the bytes, and each kernel
+    /// thread packs its own pair at the top of a fused encode+filter kernel
+    /// (`TimingBreakdown::encode_device_seconds` reports that in-kernel
+    /// share). Decisions are byte-identical to the host path in every mode
+    /// combination. This is sugar over [`FilterConfig::with_encoding`]: the
+    /// encoding actor *is* the execution-path switch.
+    pub fn with_device_encode(mut self, device: bool) -> FilterConfig {
+        self.encoding = if device {
+            EncodingActor::Device
+        } else {
+            EncodingActor::Host
+        };
+        self
+    }
+
+    /// True when the device-side encoding execution path is selected.
+    pub fn device_encode(&self) -> bool {
+        self.encoding == EncodingActor::Device
+    }
+
     /// Sets the maximum number of reads per batch.
     pub fn with_max_reads_per_batch(mut self, max_reads: usize) -> FilterConfig {
         self.max_reads_per_batch = max_reads.max(1);
@@ -179,6 +203,18 @@ mod tests {
         assert_eq!(config.encoding, EncodingActor::Host);
         assert_eq!(config.max_reads_per_batch, 5_000);
         assert_eq!(FilterConfig::new(100, 4).encoding, EncodingActor::Device);
+    }
+
+    #[test]
+    fn device_encode_knob_is_the_encoding_actor() {
+        assert!(FilterConfig::new(100, 4).device_encode());
+        let host = FilterConfig::new(100, 4).with_device_encode(false);
+        assert_eq!(host.encoding, EncodingActor::Host);
+        assert!(!host.device_encode());
+        assert!(host.with_device_encode(true).device_encode());
+        assert!(!FilterConfig::new(100, 4)
+            .with_encoding(EncodingActor::Host)
+            .device_encode());
     }
 
     #[test]

@@ -15,6 +15,27 @@
 //! transfers; host encoding shrinks the transfer but adds host time; prefetch-less
 //! devices (Kepler) pay page-fault overhead.
 //!
+//! The encoding actor selects one of two genuinely different **execution
+//! paths**, not just two timing attributions:
+//!
+//! * **host encode** ([`EncodingActor::Host`]) — the prep stage runs
+//!   `gk_seq::pairs::encode_pair_batch` on the worker pool and the device
+//!   stage consumes packed words; the H2D buffers carry 2-bit words and the
+//!   host pays `TimingBreakdown::encode_seconds`;
+//! * **device encode** ([`EncodingActor::Device`],
+//!   [`FilterConfig::with_device_encode`]) — the prep stage only *gathers*
+//!   chunks into raw 1-byte-per-base transfer arenas
+//!   ([`gk_seq::raw::RawPairBatch`], sliced zero-copy per chunk), the H2D
+//!   buffers carry ~4× the bytes, and every thread of a **fused
+//!   encode+filter kernel** packs its own pair before filtering — the encode
+//!   cost lands inside the kernel time
+//!   (`TimingBreakdown::encode_device_seconds`, per-base cycle model in
+//!   `gk_gpusim::encode`) and the host never touches a packed word.
+//!
+//! Decisions are byte-identical between the two paths for every chunk size,
+//! overlap setting, prefetch setting and device count — the root
+//! `encode_mode_equivalence` suite proptests exactly that.
+//!
 //! Execution is organised as the chunked three-stage pipeline of
 //! [`crate::pipeline`]: every run — [`GateKeeperGpu::filter_set`] over a
 //! materialized [`PairSet`], [`GateKeeperGpu::filter_chunks`] over explicit
@@ -39,6 +60,7 @@ use gk_gpusim::power::PowerReport;
 use gk_gpusim::profiler::Profiler;
 use gk_gpusim::stream::Stream;
 use gk_seq::pairs::{encode_pair_batch, PairSet, SequencePair};
+use gk_seq::raw::{RawPairBatch, RawPairSlice};
 use gk_seq::PackedSeq;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -56,8 +78,6 @@ const KERNEL_LAUNCH_OVERHEAD_S: f64 = 10e-6;
 const CYCLES_BASE: u64 = 2_000;
 /// Modelled device cycles per (mask × word) of bitwise work.
 const CYCLES_PER_MASK_WORD: u64 = 1_000;
-/// Modelled device cycles per word of in-kernel encoding (device-encoded mode).
-const CYCLES_ENCODE_PER_WORD: u64 = 500;
 /// Modelled device cycles consumed by a thread that passes an undefined pair.
 const CYCLES_UNDEFINED: u64 = 300;
 /// Extra data-dependent cycles per estimated edit (amendment/counting divergence).
@@ -152,31 +172,32 @@ impl GateKeeperGpu {
         &self.system
     }
 
+    /// Modelled cycles one fused-kernel thread spends 2-bit packing its pair
+    /// (device encoding only; zero when the host already encoded).
+    fn encode_cycles_per_pair(&self) -> u64 {
+        match self.config.encoding {
+            EncodingActor::Device => {
+                gk_gpusim::encode::encode_cycles(2 * self.config.read_len as u64)
+            }
+            EncodingActor::Host => 0,
+        }
+    }
+
     /// Modelled device cycles for one filtration.
     fn filtration_cycles(&self, decision: &FilterDecision) -> u64 {
+        // In device-encoded mode every thread packs its pair first — an
+        // undefined pair is only *discovered* during that packing pass, so
+        // even pass-through threads pay the encode cycles.
+        let encode = self.encode_cycles_per_pair();
         if decision.undefined {
-            return CYCLES_UNDEFINED;
+            return CYCLES_UNDEFINED + encode;
         }
         let words = self.config.words_per_sequence() as u64;
         let masks = 2 * self.config.threshold as u64 + 1;
-        let encode = match self.config.encoding {
-            EncodingActor::Device => 2 * words * CYCLES_ENCODE_PER_WORD,
-            EncodingActor::Host => 0,
-        };
         CYCLES_BASE
             + masks * words * CYCLES_PER_MASK_WORD
             + encode
             + decision.estimated_edits as u64 * CYCLES_PER_EDIT
-    }
-
-    /// Bytes transferred to the device per pair (input buffers only).
-    fn input_bytes_per_pair(&self) -> u64 {
-        match self.config.encoding {
-            // Packed 2-bit words for read + reference segment.
-            EncodingActor::Host => 2 * self.config.words_per_sequence() as u64 * 4,
-            // Raw ASCII for read + reference segment.
-            EncodingActor::Device => 2 * self.config.read_len as u64,
-        }
     }
 
     /// The resolved pipeline chunk plan for this instance.
@@ -185,17 +206,29 @@ impl GateKeeperGpu {
     }
 
     /// Runs the device side of one pipeline chunk (unified-memory traffic,
-    /// kernel launch, result read-back) over an already-encoded batch.
+    /// kernel launch, result read-back) over its prepared input: packed words
+    /// in host-encoded mode, a zero-copy raw-arena view in device-encoded
+    /// mode (where the kernel is the fused encode+filter variant).
     fn device_stage(
         &self,
         batch_len: usize,
-        encoded: &[(PackedSeq, PackedSeq)],
+        input: ChunkInput<'_>,
         memory: &mut UnifiedMemory,
         profiler: &mut Profiler,
     ) -> DeviceOutcome {
-        // Unified-memory buffers: reads, reference segments, results.
+        // Unified-memory buffers: reads, reference segments, results. The
+        // H2D size follows the prepared input itself: packed 2-bit words in
+        // host-encoded mode, the raw arena's actual footprint (stride-padded
+        // 1-byte bases — padding crosses the link like real bases) in
+        // device-encoded mode, so the arena is the single source of truth
+        // for raw-mode transfer accounting.
         memory.reset();
-        let input_bytes = self.input_bytes_per_pair() * batch_len as u64;
+        let input_bytes = match &input {
+            ChunkInput::Encoded(_) => {
+                2 * self.config.words_per_sequence() as u64 * 4 * batch_len as u64
+            }
+            ChunkInput::Raw(raw) => raw.h2d_bytes(),
+        };
         let result_bytes = 8 * batch_len as u64;
         let reads_buffer = memory
             .alloc(input_bytes / 2)
@@ -231,17 +264,35 @@ impl GateKeeperGpu {
             prefetch_seconds = t_reads + t_refs;
         }
 
-        // Stage 2 (device): kernel launch, one filtration per thread.
-        let decisions: Vec<FilterDecision> = encoded
-            .par_iter()
-            .map(|(read, reference)| {
-                if read.is_undefined() || reference.is_undefined() {
-                    FilterDecision::undefined_pass()
-                } else {
-                    gatekeeper_kernel(read, reference, &self.kernel_config)
-                }
-            })
-            .collect();
+        // Stage 2 (device): kernel launch, one filtration per thread. In
+        // host-encoded mode the thread consumes pre-packed words; in
+        // device-encoded mode it runs the fused kernel — pack the raw bases
+        // it was handed, then filter — which is what makes the two paths
+        // byte-identical: both end up filtering the same `PackedSeq`s.
+        let decisions: Vec<FilterDecision> = match input {
+            ChunkInput::Encoded(encoded) => encoded
+                .par_iter()
+                .map(|(read, reference)| {
+                    if read.is_undefined() || reference.is_undefined() {
+                        FilterDecision::undefined_pass()
+                    } else {
+                        gatekeeper_kernel(read, reference, &self.kernel_config)
+                    }
+                })
+                .collect(),
+            ChunkInput::Raw(raw) => (0..raw.len())
+                .into_par_iter()
+                .map(|i| {
+                    let read = PackedSeq::from_ascii(raw.read(i));
+                    let reference = PackedSeq::from_ascii(raw.reference(i));
+                    if read.is_undefined() || reference.is_undefined() {
+                        FilterDecision::undefined_pass()
+                    } else {
+                        gatekeeper_kernel(&read, &reference, &self.kernel_config)
+                    }
+                })
+                .collect(),
+        };
 
         // On devices without prefetch support the kernel's first touch of each page
         // faults and migrates on demand; that cost lands in the kernel's critical
@@ -255,7 +306,13 @@ impl GateKeeperGpu {
         let fault_seconds = fault_reads + fault_refs;
 
         let launch = self.system.launch_config(&self.device, batch_len);
-        let resources = KernelResources::gatekeeper_gpu(&self.device);
+        // The fused encode+filter kernel keeps encode scratch live and costs
+        // a few extra registers (gk_gpusim::encode); at 1024-thread blocks
+        // both variants still fit one block per SM (§5.4.1).
+        let resources = match self.config.encoding {
+            EncodingActor::Device => KernelResources::gatekeeper_gpu_device_encode(&self.device),
+            EncodingActor::Host => KernelResources::gatekeeper_gpu(&self.device),
+        };
         let stats = launch_kernel(&self.device, &resources, launch, |ctx| {
             match decisions.get(ctx.global_idx) {
                 Some(decision) => ThreadReport {
@@ -265,6 +322,14 @@ impl GateKeeperGpu {
                 None => ThreadReport::idle(),
             }
         });
+        // Attribute the in-kernel encode share of the fused kernel by its
+        // cycle fraction (every thread with a pair packs 2 × read_len bases).
+        let encode_device_seconds = if stats.total_cycles > 0 {
+            let encode_cycles = batch_len as u64 * self.encode_cycles_per_pair();
+            stats.kernel_seconds * encode_cycles as f64 / stats.total_cycles as f64
+        } else {
+            0.0
+        };
         let kernel_seconds = stats.kernel_seconds + KERNEL_LAUNCH_OVERHEAD_S;
         profiler.record(
             "gatekeeper_gpu_kernel",
@@ -282,6 +347,7 @@ impl GateKeeperGpu {
             prefetch_seconds,
             fault_seconds,
             kernel_seconds,
+            encode_device_seconds,
             readback_seconds,
         }
     }
@@ -356,45 +422,81 @@ impl GateKeeperGpu {
 }
 
 /// Decisions plus per-stage modelled durations of one chunk's *device* side
-/// (everything downstream of the host encode).
+/// (everything downstream of the host prep).
 struct DeviceOutcome {
     decisions: Vec<FilterDecision>,
     prefetch_seconds: f64,
     fault_seconds: f64,
     kernel_seconds: f64,
+    /// In-kernel encode share of `kernel_seconds` (fused kernel only).
+    encode_device_seconds: f64,
     readback_seconds: f64,
 }
 
-/// Host-stage output of one pipeline chunk: the owned pairs, their 2-bit
-/// encodings, and the modelled host durations. This is what the prefetch
-/// executor produces ahead of time on the worker pool.
-struct EncodedChunk {
+/// Owned output of one chunk's prep stage — what travels through the prefetch
+/// executor's pool tasks.
+enum ChunkData {
+    /// Host-encoded mode: the packed 2-bit words, ready for the plain kernel.
+    Encoded(Vec<(PackedSeq, PackedSeq)>),
+    /// Device-encoded mode: the raw transfer arena; the fused kernel packs it.
+    Raw(RawPairBatch),
+}
+
+impl ChunkData {
+    fn as_input(&self) -> ChunkInput<'_> {
+        match self {
+            ChunkData::Encoded(encoded) => ChunkInput::Encoded(encoded),
+            ChunkData::Raw(raw) => ChunkInput::Raw(raw.view()),
+        }
+    }
+}
+
+/// Borrowed view of one chunk's prepared input, as the device stage consumes
+/// it.
+enum ChunkInput<'a> {
+    /// Packed 2-bit words (host-encoded mode).
+    Encoded(&'a [(PackedSeq, PackedSeq)]),
+    /// Raw 1-byte-per-base arena view (device-encoded mode).
+    Raw(RawPairSlice<'a>),
+}
+
+/// Owned prepped chunk produced ahead of time by the prefetch executor.
+struct PreppedChunk {
     pairs: Vec<SequencePair>,
-    encoded: Vec<(PackedSeq, PackedSeq)>,
+    data: ChunkData,
     host_prep_seconds: f64,
     encode_seconds: f64,
 }
 
-/// The host stage of one chunk: buffer preparation plus 2-bit encoding.
-///
-/// Functionally the packed form is always needed to run the kernel; the *time*
-/// is attributed to the host only in host-encoded mode (in device-encoded mode
-/// the cost appears as extra kernel cycles instead). A free function over
-/// owned/`Copy` inputs so the prefetch executor can run it as a `'static`
-/// task on the worker pool.
-fn encode_stage(
+/// The host stage of one chunk: buffer preparation, plus — in host-encoded
+/// mode only — the 2-bit packing. In device-encoded mode the host merely
+/// *gathers* the raw bases into the flat transfer arena; no `PackedSeq` is
+/// ever built on the host, which is the whole point of the path. A free
+/// function over owned/`Copy` inputs so the prefetch executor can run it as a
+/// `'static` task on the worker pool.
+fn prep_stage(
     batch: &[SequencePair],
     read_len: usize,
     encoding: EncodingActor,
-) -> (Vec<(PackedSeq, PackedSeq)>, f64, f64) {
+) -> (ChunkData, f64, f64) {
     let host_prep_seconds = batch.len() as f64 * HOST_PREP_SECONDS_PER_PAIR;
-    let encoded: Vec<(PackedSeq, PackedSeq)> = encode_pair_batch(batch);
-    let encode_seconds = if encoding == EncodingActor::Host {
-        2.0 * batch.len() as f64 * read_len as f64 / HOST_ENCODE_BASES_PER_SECOND
-    } else {
-        0.0
-    };
-    (encoded, host_prep_seconds, encode_seconds)
+    match encoding {
+        EncodingActor::Host => {
+            let encoded: Vec<(PackedSeq, PackedSeq)> = encode_pair_batch(batch);
+            let encode_seconds =
+                2.0 * batch.len() as f64 * read_len as f64 / HOST_ENCODE_BASES_PER_SECOND;
+            (
+                ChunkData::Encoded(encoded),
+                host_prep_seconds,
+                encode_seconds,
+            )
+        }
+        EncodingActor::Device => (
+            ChunkData::Raw(RawPairBatch::from_pairs(batch)),
+            host_prep_seconds,
+            0.0,
+        ),
+    }
 }
 
 /// Stateful chunked execution of one filtering run on one device: owns the
@@ -419,8 +521,8 @@ struct PipelineEngine<'g> {
     /// (knob on *and* the pool is parallel — under `RAYON_NUM_THREADS=1` the
     /// engine keeps today's serial path).
     prefetch: bool,
-    /// Encode tasks in flight, oldest chunk first.
-    pending: VecDeque<rayon::JoinHandle<EncodedChunk>>,
+    /// Prep tasks in flight, oldest chunk first.
+    pending: VecDeque<rayon::JoinHandle<PreppedChunk>>,
     wall_start: Instant,
 }
 
@@ -448,16 +550,29 @@ impl<'g> PipelineEngine<'g> {
     where
         F: FnMut(&[SequencePair], Vec<FilterDecision>),
     {
-        for chunk in pairs.chunks(self.plan.chunk_pairs.max(1)) {
-            if self.prefetch {
-                self.spawn_encode(chunk.to_vec());
+        let size = self.plan.chunk_pairs.max(1);
+        if self.prefetch {
+            for chunk in pairs.chunks(size) {
+                self.spawn_prep(chunk.to_vec());
                 while self.pending.len() >= PREFETCH_IN_FLIGHT {
                     self.drain_one(sink);
                 }
-            } else {
-                let (encoded, host_prep_seconds, encode_seconds) =
-                    encode_stage(chunk, self.gpu.config.read_len, self.gpu.config.encoding);
-                self.complete_chunk(chunk, &encoded, host_prep_seconds, encode_seconds, sink);
+            }
+        } else {
+            // One prep per chunk in both encode modes: a whole-slice raw
+            // arena would copy exactly the same bytes while holding the
+            // entire fed slice live, breaking the bounded-memory contract
+            // for big materialized sets.
+            for chunk in pairs.chunks(size) {
+                let (data, host_prep_seconds, encode_seconds) =
+                    prep_stage(chunk, self.gpu.config.read_len, self.gpu.config.encoding);
+                self.complete_chunk(
+                    chunk,
+                    data.as_input(),
+                    host_prep_seconds,
+                    encode_seconds,
+                    sink,
+                );
             }
         }
     }
@@ -479,30 +594,30 @@ impl<'g> PipelineEngine<'g> {
             if chunk.is_empty() {
                 break;
             }
-            self.spawn_encode(chunk);
+            self.spawn_prep(chunk);
             while self.pending.len() >= PREFETCH_IN_FLIGHT {
                 self.drain_one(sink);
             }
         }
     }
 
-    /// Dispatches one owned chunk's prep+encode as a task on the worker pool.
-    fn spawn_encode(&mut self, owned: Vec<SequencePair>) {
+    /// Dispatches one owned chunk's prep (gather, plus encode in host mode)
+    /// as a task on the worker pool.
+    fn spawn_prep(&mut self, owned: Vec<SequencePair>) {
         let read_len = self.gpu.config.read_len;
         let encoding = self.gpu.config.encoding;
         self.pending.push_back(rayon::spawn(move || {
-            let (encoded, host_prep_seconds, encode_seconds) =
-                encode_stage(&owned, read_len, encoding);
-            EncodedChunk {
+            let (data, host_prep_seconds, encode_seconds) = prep_stage(&owned, read_len, encoding);
+            PreppedChunk {
                 pairs: owned,
-                encoded,
+                data,
                 host_prep_seconds,
                 encode_seconds,
             }
         }));
     }
 
-    /// Drains every encode task still in flight, in input order.
+    /// Drains every prep task still in flight, in input order.
     fn flush<F>(&mut self, sink: &mut F)
     where
         F: FnMut(&[SequencePair], Vec<FilterDecision>),
@@ -520,7 +635,7 @@ impl<'g> PipelineEngine<'g> {
             let chunk = handle.join();
             self.complete_chunk(
                 &chunk.pairs,
-                &chunk.encoded,
+                chunk.data.as_input(),
                 chunk.host_prep_seconds,
                 chunk.encode_seconds,
                 sink,
@@ -534,7 +649,7 @@ impl<'g> PipelineEngine<'g> {
     fn complete_chunk<F>(
         &mut self,
         pairs: &[SequencePair],
-        encoded: &[(PackedSeq, PackedSeq)],
+        input: ChunkInput<'_>,
         host_prep_seconds: f64,
         encode_seconds: f64,
         sink: &mut F,
@@ -542,7 +657,7 @@ impl<'g> PipelineEngine<'g> {
         F: FnMut(&[SequencePair], Vec<FilterDecision>),
     {
         let gpu = self.gpu;
-        let device = gpu.device_stage(pairs.len(), encoded, &mut self.memory, &mut self.profiler);
+        let device = gpu.device_stage(pairs.len(), input, &mut self.memory, &mut self.profiler);
         // Page faults sit on the kernel's critical path (§4.3) even though
         // reporting accounts them as transfer time.
         let stages = ChunkStageSeconds {
@@ -553,6 +668,7 @@ impl<'g> PipelineEngine<'g> {
         self.schedule.record_chunk(&stages);
         self.timing.host_prep_seconds += host_prep_seconds;
         self.timing.encode_seconds += encode_seconds;
+        self.timing.encode_device_seconds += device.encode_device_seconds;
         self.timing.transfer_seconds += device.prefetch_seconds + device.fault_seconds;
         self.timing.kernel_seconds += device.kernel_seconds;
         self.timing.readback_seconds += device.readback_seconds;
@@ -569,9 +685,12 @@ impl<'g> PipelineEngine<'g> {
             self.timing.overlapped_seconds = Some(self.schedule.overlapped_seconds());
         }
         self.timing.host_wall_seconds = self.wall_start.elapsed().as_secs_f64();
-        let report = self
-            .schedule
-            .report(self.plan.chunk_pairs, overlap, self.prefetch);
+        let report = self.schedule.report(
+            self.plan.chunk_pairs,
+            overlap,
+            self.prefetch,
+            self.gpu.config.device_encode(),
+        );
         let aggregates = RunAggregates {
             batches: self.schedule.chunks(),
             memory_stats: self.memory.stats(),
@@ -682,6 +801,88 @@ mod tests {
         let host = gpu(5, EncodingActor::Host).filter_set(&set);
         let device = gpu(5, EncodingActor::Device).filter_set(&set);
         assert_eq!(host.decisions, device.decisions);
+    }
+
+    #[test]
+    fn device_encode_skips_the_host_encode_and_reports_the_kernel_split() {
+        let set = pairs(1_200);
+        let host = gpu(4, EncodingActor::Host).filter_set(&set);
+        let device = gpu(4, EncodingActor::Device).filter_set(&set);
+        // Host path: encode time on the host, none inside the kernel.
+        assert!(host.timing.encode_seconds > 0.0);
+        assert_eq!(host.timing.encode_device_seconds, 0.0);
+        assert!(!host.pipeline.device_encode);
+        // Device path: zero host encode, a positive in-kernel share that
+        // stays strictly inside the kernel time.
+        assert_eq!(device.timing.encode_seconds, 0.0);
+        assert!(device.timing.encode_device_seconds > 0.0);
+        assert!(device.timing.encode_device_seconds < device.timing.kernel_seconds);
+        assert!(device.pipeline.device_encode);
+        // The host-side encode share is strictly lower (zero) on the device
+        // path — the acceptance bar of the device-encoding tentpole.
+        assert!(device.timing.host_encode_share() < host.timing.host_encode_share());
+    }
+
+    #[test]
+    fn device_encode_transfers_more_bytes_over_the_link() {
+        // Raw 1-byte-per-base uploads are ~4× the packed 2-bit words (100 bp:
+        // 200 raw bytes vs 56 packed bytes per pair). Unified memory moves
+        // whole 64 KiB pages, so the batch must be big enough for the
+        // rounding not to blunt the ratio.
+        let set = pairs(4_000);
+        let host = gpu(4, EncodingActor::Host).filter_set(&set);
+        let device = gpu(4, EncodingActor::Device).filter_set(&set);
+        assert!(device.memory_stats.bytes_to_device > 3 * host.memory_stats.bytes_to_device);
+        // Result read-back is mode-independent.
+        assert_eq!(
+            device.memory_stats.bytes_to_host,
+            host.memory_stats.bytes_to_host
+        );
+    }
+
+    #[test]
+    fn device_encode_matches_host_across_chunking_overlap_and_streaming() {
+        let profile = DatasetProfile::set3();
+        let set = profile.generate(1_100, 19);
+        for chunk in [1usize, 137, 5_000] {
+            let base = FilterConfig::new(100, 5)
+                .with_chunk_pairs(chunk)
+                .with_overlap(true);
+            let host =
+                GateKeeperGpu::with_default_device(base.with_device_encode(false)).filter_set(&set);
+            let device =
+                GateKeeperGpu::with_default_device(base.with_device_encode(true)).filter_set(&set);
+            assert_eq!(host.decisions, device.decisions, "chunk {chunk}");
+            assert_eq!(host.batches, device.batches);
+
+            // Streamed device-encode equals materialized device-encode.
+            let gpu = GateKeeperGpu::with_default_device(base.with_device_encode(true));
+            let mut streamed_decisions = Vec::new();
+            let streamed = gpu
+                .filter_stream_with(profile.stream_batches(1_100, 19, 400), |_, decisions| {
+                    streamed_decisions.extend_from_slice(decisions)
+                });
+            assert_eq!(streamed.pairs, set.len());
+            assert_eq!(streamed_decisions, device.decisions, "chunk {chunk}");
+            assert_eq!(streamed.timing.encode_seconds, 0.0);
+            assert!(streamed.timing.encode_device_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn device_encode_handles_undefined_and_huge_thresholds() {
+        // Undefined pairs are discovered inside the fused kernel's packing
+        // pass, and the e >= read_len clamp (PR 4) must hold on the raw path.
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.15;
+        let set = profile.generate(600, 77);
+        for threshold in [99u32, 100, 101, u32::MAX] {
+            let host = gpu(threshold, EncodingActor::Host).filter_set(&set);
+            let device = gpu(threshold, EncodingActor::Device).filter_set(&set);
+            assert_eq!(host.decisions, device.decisions, "e = {threshold}");
+            let undefined = device.decisions.iter().filter(|d| d.undefined).count();
+            assert_eq!(undefined, set.undefined_count());
+        }
     }
 
     #[test]

@@ -313,6 +313,30 @@ mod tests {
     }
 
     #[test]
+    fn device_encode_shards_identically_to_host_encode() {
+        // The encoding execution path must be transparent to the round-robin
+        // sharding: same decisions on 1 and 4 devices, in both modes, and the
+        // host-paid-once accounting still holds (device mode pays no host
+        // encode at all).
+        let set = pairs(3_000);
+        let host = multi(4, EncodingActor::Host).filter_set(&set);
+        let device = multi(4, EncodingActor::Device).filter_set(&set);
+        let single_device = multi(1, EncodingActor::Device).filter_set(&set);
+        assert_eq!(host.decisions, device.decisions);
+        assert_eq!(device.decisions, single_device.decisions);
+        for run in &device.per_device {
+            assert_eq!(run.timing.encode_seconds, 0.0);
+            assert!(run.timing.encode_device_seconds > 0.0);
+            assert!(run.pipeline.device_encode);
+        }
+        let host_total = ScalingPoint::timing_of(&host);
+        let device_total = ScalingPoint::timing_of(&device);
+        assert!(host_total.encode_seconds > 0.0);
+        assert_eq!(device_total.encode_seconds, 0.0);
+        assert!(device_total.encode_device_seconds > 0.0);
+    }
+
+    #[test]
     fn accepted_counts_are_consistent() {
         let set = pairs(1_000);
         let run = multi(3, EncodingActor::Device).filter_set(&set);

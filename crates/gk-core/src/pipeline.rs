@@ -61,6 +61,14 @@ impl ChunkPlan {
     /// behaviour — or a third of it when overlapping, so the [`BUFFER_SLOTS`]
     /// in-flight chunks together still fit the memory budget the
     /// system-configuration step derived.
+    ///
+    /// The capacity itself is encoding-mode-dependent: with device encode the
+    /// buffer slots hold **raw** 1-byte-per-base sequences (~4× the packed
+    /// words — see `gk_gpusim::encode::raw_inflation`), so the
+    /// system-configuration step derives a smaller `batch_size` and every slot
+    /// of the rotation shrinks with it. The plan never has to know which mode
+    /// is active beyond that: raw slots are sized exactly like encoded ones,
+    /// just over a bigger per-pair footprint.
     pub fn resolve(config: &FilterConfig, system: &SystemConfig) -> ChunkPlan {
         let capacity = system.batch_size.min(config.max_reads_per_batch).max(1);
         let chunk_pairs = if config.chunk_pairs > 0 {
@@ -125,6 +133,10 @@ pub struct PipelineReport {
     /// closure ran. `false` when the knob was off *or* the pool was
     /// sequential (`RAYON_NUM_THREADS=1` fallback).
     pub host_prefetch: bool,
+    /// Whether the run used the device-side encoding execution path (raw
+    /// 1-byte-per-base uploads + fused encode+filter kernel) instead of host
+    /// `encode_pair_batch`.
+    pub device_encode: bool,
     /// Ill-formed simulated durations saturated to zero by the timeline (see
     /// `gk_gpusim::stream::Stream::anomalies`). Always `0` on a healthy run;
     /// non-zero means a release build absorbed what a debug build would have
@@ -234,7 +246,13 @@ impl PipelineSchedule {
     }
 
     /// Builds the report for a finished run.
-    pub fn report(&self, chunk_pairs: usize, overlap: bool, host_prefetch: bool) -> PipelineReport {
+    pub fn report(
+        &self,
+        chunk_pairs: usize,
+        overlap: bool,
+        host_prefetch: bool,
+        device_encode: bool,
+    ) -> PipelineReport {
         PipelineReport {
             chunks: self.chunks,
             chunk_pairs,
@@ -242,6 +260,7 @@ impl PipelineSchedule {
             overlapped_seconds: self.overlapped_seconds(),
             serialized_seconds: self.serialized_seconds(),
             host_prefetch,
+            device_encode,
             timing_anomalies: self.timeline.anomalies(),
         }
     }
@@ -323,6 +342,30 @@ mod tests {
     }
 
     #[test]
+    fn raw_slots_shrink_the_memory_bound_chunks() {
+        // With device encode the buffer slots hold raw 1-byte-per-base
+        // sequences (~4× the packed words), so when the *memory budget* is the
+        // binding constraint the auto-sized chunks must shrink accordingly.
+        let unbounded = |device: bool| {
+            plan(
+                FilterConfig::new(100, 5)
+                    .with_overlap(true)
+                    .with_device_encode(device)
+                    .with_max_reads_per_batch(usize::MAX),
+            )
+        };
+        let (host_plan, host_system) = unbounded(false);
+        let (device_plan, device_system) = unbounded(true);
+        assert!(device_system.thread_load_bytes > host_system.thread_load_bytes);
+        assert!(
+            device_plan.chunk_pairs < host_plan.chunk_pairs,
+            "device {} !< host {}",
+            device_plan.chunk_pairs,
+            host_plan.chunk_pairs
+        );
+    }
+
+    #[test]
     fn explicit_chunk_knob_wins_but_is_capped() {
         let config = FilterConfig::new(100, 5)
             .with_max_reads_per_batch(500)
@@ -373,8 +416,9 @@ mod tests {
             schedule.record_chunk(&stages);
         }
         assert_eq!(schedule.chunks(), 8);
-        let report = schedule.report(100, true, false);
+        let report = schedule.report(100, true, false, false);
         assert!(!report.host_prefetch);
+        assert!(!report.device_encode);
         assert_eq!(report.timing_anomalies, 0);
         assert!((report.serialized_seconds - 8.0).abs() < 1e-12);
         // Steady state: the kernel stream dominates after the first fill and

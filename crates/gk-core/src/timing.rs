@@ -28,6 +28,14 @@ pub struct TimingBreakdown {
     pub host_prep_seconds: f64,
     /// 2-bit encoding time (host encoding only; zero when the device encodes).
     pub encode_seconds: f64,
+    /// Share of [`TimingBreakdown::kernel_seconds`] the fused encode+filter
+    /// kernel spent packing raw bases on the *device* (device encoding only;
+    /// zero when the host encodes). This is an attribution split **inside**
+    /// the kernel time, not an extra component — it is deliberately excluded
+    /// from [`TimingBreakdown::serialized_seconds`] so the two encode modes
+    /// stay comparable: the host path pays `encode_seconds` on top of its
+    /// kernel, the device path pays `encode_device_seconds` inside it.
+    pub encode_device_seconds: f64,
     /// Host↔device data movement (unified-memory migrations and prefetches).
     pub transfer_seconds: f64,
     /// Device execution time, summed over batched kernel calls.
@@ -53,6 +61,7 @@ impl PartialEq for TimingBreakdown {
     fn eq(&self, other: &TimingBreakdown) -> bool {
         self.host_prep_seconds == other.host_prep_seconds
             && self.encode_seconds == other.encode_seconds
+            && self.encode_device_seconds == other.encode_device_seconds
             && self.transfer_seconds == other.transfer_seconds
             && self.kernel_seconds == other.kernel_seconds
             && self.readback_seconds == other.readback_seconds
@@ -87,6 +96,19 @@ impl TimingBreakdown {
         (self.serialized_seconds() - self.filter_seconds()).max(0.0)
     }
 
+    /// Fraction of the serialized filter time spent 2-bit encoding **on the
+    /// host**. This is the share the device encoding actor eliminates: with
+    /// device encode the packing happens inside the kernel (tracked as
+    /// [`TimingBreakdown::encode_device_seconds`]) and this drops to zero.
+    pub fn host_encode_share(&self) -> f64 {
+        let total = self.serialized_seconds();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.encode_seconds / total
+        }
+    }
+
     /// Adds another breakdown (e.g. accumulating per-batch times). Components
     /// add up; the overlapped makespans of two runs executed one after the
     /// other also add (and an overlapped run accumulated with a serialized one
@@ -98,6 +120,7 @@ impl TimingBreakdown {
         };
         self.host_prep_seconds += other.host_prep_seconds;
         self.encode_seconds += other.encode_seconds;
+        self.encode_device_seconds += other.encode_device_seconds;
         self.transfer_seconds += other.transfer_seconds;
         self.kernel_seconds += other.kernel_seconds;
         self.readback_seconds += other.readback_seconds;
@@ -213,6 +236,40 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.host_wall_seconds, 102.0);
         assert_eq!(a.kernel_seconds, 2.0);
+    }
+
+    #[test]
+    fn device_encode_split_stays_inside_the_kernel_time() {
+        // encode_device_seconds is an attribution split of kernel_seconds, so
+        // the serialized sum must not double-count it.
+        let t = TimingBreakdown {
+            host_prep_seconds: 1.0,
+            transfer_seconds: 2.0,
+            kernel_seconds: 4.0,
+            encode_device_seconds: 0.5,
+            readback_seconds: 0.5,
+            ..Default::default()
+        };
+        assert!((t.serialized_seconds() - 7.5).abs() < 1e-12);
+        assert_eq!(t.host_encode_share(), 0.0);
+        let host = TimingBreakdown {
+            encode_seconds: 2.5,
+            kernel_seconds: 2.5,
+            ..Default::default()
+        };
+        assert!((host.host_encode_share() - 0.5).abs() < 1e-12);
+        assert_eq!(TimingBreakdown::default().host_encode_share(), 0.0);
+        // The split participates in equality and accumulation.
+        let mut a = t;
+        assert_ne!(
+            a,
+            TimingBreakdown {
+                encode_device_seconds: 0.0,
+                ..t
+            }
+        );
+        a.accumulate(&t);
+        assert_eq!(a.encode_device_seconds, 1.0);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   (Pascal GTX 1080 Ti, Kepler Tesla K20X) and PCIe link models.
 //! * [`occupancy`] — the CUDA occupancy calculator; reproduces the 63% / 50%
 //!   theoretical-occupancy numbers of §5.4.1.
+//! * [`encode`] — the in-kernel encode-stage model of the device encoding
+//!   actor: per-base cycle cost, raw-vs-packed H2D byte accounting, and the
+//!   fused encode+filter kernel's register/occupancy footprint.
 //! * [`memory`] — unified memory with page-granular residency, on-demand migration
 //!   (page faults), `memAdvise`, and asynchronous prefetch (compute capability ≥ 6.x
 //!   only, as on the real hardware).
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod encode;
 pub mod executor;
 pub mod memory;
 pub mod multi;

@@ -25,9 +25,12 @@
 //!   paper's datasets (Set 1 … Set 12, the Minimap2 and BWA-MEM candidate sets),
 //!   so that every accuracy table and figure can be regenerated without access to
 //!   the original read archives.
+//! * [`raw`] — the raw 1-byte-per-base transfer representation of the
+//!   device-side encoding path: flat stride-addressed arenas with zero-copy
+//!   pair-granular slicing, as a `cudaMemcpy` of unencoded reads would move.
 //! * [`stream`] — streaming pair sources: deterministic iterators of (optionally
-//!   2-bit encoded) pair batches, so 30-million-pair runs never materialize a
-//!   full set.
+//!   2-bit encoded or raw-gathered) pair batches, so 30-million-pair runs never
+//!   materialize a full set.
 
 #![warn(missing_docs)]
 
@@ -37,6 +40,7 @@ pub mod fasta;
 pub mod fastq;
 pub mod packed;
 pub mod pairs;
+pub mod raw;
 pub mod reference;
 pub mod simulate;
 pub mod stream;
@@ -44,6 +48,7 @@ pub mod stream;
 pub use alphabet::{complement, decode_base, encode_base, is_valid_base, Base};
 pub use packed::PackedSeq;
 pub use pairs::{encode_pair_batch, PairSet, SequencePair};
+pub use raw::{RawPairBatch, RawPairBatches, RawPairSlice};
 pub use reference::{Reference, ReferenceBuilder};
 pub use simulate::{ErrorProfile, ReadSimulator, SimulatedRead};
 pub use stream::{EncodedPairBatches, PairBatches};

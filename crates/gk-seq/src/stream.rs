@@ -59,6 +59,14 @@ impl PairBatches {
         EncodedPairBatches::new(self)
     }
 
+    /// Adapts the source into an iterator of raw transfer batches
+    /// ([`crate::raw::RawPairBatch`]) — the device-encoding counterpart of
+    /// [`PairBatches::encoded`]: the host gathers each batch into flat
+    /// 1-byte-per-base arenas but leaves the 2-bit packing to the kernel.
+    pub fn raw(self) -> crate::raw::RawPairBatches<PairBatches> {
+        crate::raw::RawPairBatches::new(self)
+    }
+
     /// Adapts the source into a read-ahead iterator: the next batch is
     /// generated as a task on the worker pool while the consumer processes the
     /// current one, so generation cost hides under downstream work. Yields

@@ -294,6 +294,35 @@ fn host_prefetch_never_changes_decisions_or_timing_splits() {
 }
 
 #[test]
+fn device_encode_is_identical_to_sequential_and_to_host_encode() {
+    // The raw-upload + fused-kernel path fans its per-pair packing out on the
+    // pool inside the kernel closure, so it needs the same two guarantees as
+    // every other parallel path: parallel == sequential fallback, and (its own
+    // tentpole contract) device-encode == host-encode, at every chunk size.
+    for seed in SEEDS {
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.04;
+        let pairs = profile.generate(900, seed);
+        for chunk in [1usize, 333, 2_000] {
+            let device_config = FilterConfig::new(100, 4)
+                .with_chunk_pairs(chunk)
+                .with_overlap(true)
+                .with_device_encode(true);
+            let parallel = GateKeeperGpu::with_default_device(device_config).filter_set(&pairs);
+            let fallback =
+                sequential(|| GateKeeperGpu::with_default_device(device_config).filter_set(&pairs));
+            assert_eq!(parallel, fallback, "seed {seed}, chunk {chunk}");
+            let host = GateKeeperGpu::with_default_device(device_config.with_device_encode(false))
+                .filter_set(&pairs);
+            assert_eq!(
+                parallel.decisions, host.decisions,
+                "seed {seed}, chunk {chunk}"
+            );
+        }
+    }
+}
+
+#[test]
 fn host_prefetch_fallback_on_a_one_thread_pool_is_byte_identical() {
     // Inside a one-thread pool (the same mode RAYON_NUM_THREADS=1 selects) the
     // engine must keep today's serial path: identical output, and the report
