@@ -13,6 +13,8 @@
 //! * `--device-encode` — use the device-side encoding execution path (raw
 //!   1-byte-per-base uploads + fused encode+filter kernel) instead of host
 //!   `encode_pair_batch`;
+//! * `--scalar` — force the per-bit scalar reference kernels on the CPU rows
+//!   (same effect as `GK_SIMD=scalar`, but per invocation);
 //! * `--full` — run the complete sweep instead of the representative subset;
 //! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions;
 //! * `--help` / `-h` — print the flag reference and exit.
@@ -34,6 +36,9 @@ pub struct HarnessArgs {
     /// Use the device-side encoding execution path: upload raw reads and let
     /// the fused kernel do the 2-bit packing (no host `encode_pair_batch`).
     pub device_encode: bool,
+    /// Force the per-bit scalar reference kernels instead of the lane-parallel
+    /// SIMD path (the throughput baseline; decisions are byte-identical).
+    pub scalar: bool,
     /// Include the Minimap2/BWA-MEM candidate profiles (Figure S.5/S.6).
     pub mapper_profiles: bool,
     /// Include the additional real-set rows of Table S.26.
@@ -65,6 +70,8 @@ impl HarnessArgs {
          \x20 --device-encode    device-side encoding path: upload raw reads, 2-bit pack\n\
          \x20                    inside the fused encode+filter kernel (~4x H2D bytes,\n\
          \x20                    zero host encode time); default is host encoding\n\
+         \x20 --scalar           force the per-bit scalar reference kernels on the CPU\n\
+         \x20                    rows (same as GK_SIMD=scalar; decisions are identical)\n\
          \x20 --full             run the complete sweep / paper-sized input\n\
          \x20 --mapper-profiles  include the Minimap2/BWA-MEM candidate profiles\n\
          \x20 --extra-sets       include the additional real-set rows\n\
@@ -88,6 +95,7 @@ impl HarnessArgs {
                 "--serialized" => parsed.serialized = true,
                 "--host-serial" => parsed.host_serial = true,
                 "--device-encode" => parsed.device_encode = true,
+                "--scalar" => parsed.scalar = true,
                 "--full" => parsed.full = true,
                 "--mapper-profiles" => parsed.mapper_profiles = true,
                 "--extra-sets" => parsed.extra_sets = true,
@@ -115,6 +123,17 @@ impl HarnessArgs {
     /// Pipeline chunk size in pairs, defaulting to `default` (0 = auto-size).
     pub fn chunk(&self, default: usize) -> usize {
         self.chunk.unwrap_or(default)
+    }
+
+    /// SIMD mode for the CPU harness rows: the per-bit scalar reference with
+    /// `--scalar`, otherwise `Auto` (which consults the `GK_SIMD` environment
+    /// variable and defaults to the lane path).
+    pub fn simd_mode(&self) -> gk_filters::SimdMode {
+        if self.scalar {
+            gk_filters::SimdMode::Scalar
+        } else {
+            gk_filters::SimdMode::Auto
+        }
     }
 }
 
@@ -149,12 +168,23 @@ mod tests {
             "--serialized".into(),
             "--host-serial".into(),
             "--device-encode".into(),
+            "--scalar".into(),
         ]);
         assert!(args.mapper_profiles && args.extra_sets && args.full && args.serialized);
         assert!(args.host_serial);
         assert!(args.device_encode);
+        assert!(args.scalar);
         assert!(!HarnessArgs::parse_from(vec![]).host_serial);
         assert!(!HarnessArgs::parse_from(vec![]).device_encode);
+        assert!(!HarnessArgs::parse_from(vec![]).scalar);
+    }
+
+    #[test]
+    fn scalar_flag_selects_the_simd_mode() {
+        use gk_filters::SimdMode;
+        let scalar = HarnessArgs::parse_from(vec!["--scalar".into()]);
+        assert_eq!(scalar.simd_mode(), SimdMode::Scalar);
+        assert_eq!(HarnessArgs::parse_from(vec![]).simd_mode(), SimdMode::Auto);
     }
 
     #[test]
@@ -168,6 +198,7 @@ mod tests {
             "--serialized",
             "--host-serial",
             "--device-encode",
+            "--scalar",
             "--full",
             "--mapper-profiles",
             "--extra-sets",

@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p gk-bench --bin figS12_error_threshold [--pairs N]`
 
 use gk_bench::datasets::throughput_set;
-use gk_bench::runner::{cpu_throughput, gpu_throughput};
+use gk_bench::runner::{cpu_throughput_with_mode, gpu_throughput};
 use gk_bench::table::{fmt, Table};
 use gk_bench::{HarnessArgs, SETUP1, SETUP2};
 use gk_core::config::EncodingActor;
@@ -28,7 +28,7 @@ fn main() {
     ]);
 
     for e in [0u32, 1, 2, 4, 6, 8, 10] {
-        let cpu = cpu_throughput(&set, e, SETUP1.cpu_cores);
+        let cpu = cpu_throughput_with_mode(&set, e, SETUP1.cpu_cores, args.simd_mode());
         let s1_dev = gpu_throughput(&SETUP1, 1, &set, e, EncodingActor::Device);
         let s1_host = gpu_throughput(&SETUP1, 1, &set, e, EncodingActor::Host);
         let s2_dev = gpu_throughput(&SETUP2, 1, &set, e, EncodingActor::Device);

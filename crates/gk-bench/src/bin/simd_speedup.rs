@@ -1,0 +1,163 @@
+//! SIMD-vs-scalar CPU throughput comparison — the acceptance harness of the
+//! lane-parallel filter kernels.
+//!
+//! Runs the Table 2 GateKeeper-CPU row (100 bp, e = 4) twice per core count:
+//! once on the lane-parallel SIMD path (`SimdMode::Lanes`, blocks of pairs
+//! transposed into the struct-of-arrays layout and filtered four lanes at a
+//! time) and once on the per-bit scalar reference (`SimdMode::Scalar`, the
+//! historical baseline). The run **hard-asserts** that the two decision
+//! streams are FNV-digest-identical and that the lane path clears the 4x
+//! end-to-end speedup bar on the single-core row, then prints a Markdown
+//! comparison table between `<!-- simd-vs-scalar:begin/end -->` markers so CI
+//! can lift it straight into the job summary.
+//!
+//! Usage: `cargo run --release -p gk-bench --bin simd_speedup
+//!         [--pairs N] [--full] [--help]`
+
+use gk_bench::datasets::throughput_set;
+use gk_bench::runner::{shared_pool, speedup, ThroughputPoint};
+use gk_bench::table::fmt;
+use gk_bench::{HarnessArgs, SETUP1};
+use gk_core::cpu::GateKeeperCpu;
+use gk_filters::SimdMode;
+use gk_seq::pairs::PairSet;
+
+/// Order-sensitive FNV-1a-style digest of a decision stream (same construction
+/// as `streaming_scale`), so the two modes compare byte-for-byte.
+#[derive(Clone, Copy)]
+struct DecisionDigest(u64);
+
+impl Default for DecisionDigest {
+    fn default() -> DecisionDigest {
+        DecisionDigest(0xcbf2_9ce4_8422_2325) // FNV-1a offset basis
+    }
+}
+
+impl DecisionDigest {
+    fn update(&mut self, decisions: &[gk_filters::FilterDecision]) {
+        let mut h = self.0;
+        for d in decisions {
+            let word = (u64::from(d.estimated_edits) << 2)
+                | (u64::from(d.accepted) << 1)
+                | u64::from(d.undefined);
+            h = (h ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+struct ModeRun {
+    point: ThroughputPoint,
+    digest: u64,
+    accepted: usize,
+}
+
+fn measure(set: &PairSet, threshold: u32, cores: usize, mode: SimdMode) -> ModeRun {
+    let run = GateKeeperCpu::with_pool(threshold, cores, shared_pool(cores))
+        .with_simd_mode(mode)
+        .filter_set(set);
+    let mut digest = DecisionDigest::default();
+    digest.update(&run.decisions);
+    ModeRun {
+        point: ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds),
+        digest: digest.0,
+        accepted: run.accepted(),
+    }
+}
+
+fn summary_row(cores: usize, mode: &str, run: &ModeRun, speedup_col: Option<f64>) -> String {
+    format!(
+        "| {cores} | {mode} | `{:#018x}` | {} | {} | {} | {} |",
+        run.digest,
+        fmt(run.point.kernel_seconds, 4),
+        fmt(run.point.filter_seconds, 4),
+        fmt(run.point.filter_mps, 2),
+        speedup_col
+            .map(|s| format!("{}x", fmt(s, 2)))
+            .unwrap_or_else(|| "baseline".to_string()),
+    )
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let pairs = args.pairs(if args.full { 1_000_000 } else { 200_000 });
+    let threshold = 4u32;
+    let read_len = 100usize;
+    let set = throughput_set(read_len, pairs);
+    let core_counts = [1usize, SETUP1.cpu_cores];
+
+    println!(
+        "SIMD-vs-scalar GateKeeper-CPU comparison ({read_len} bp, e = {threshold}, {pairs} pairs)"
+    );
+    println!("Lane path: 4-lane struct-of-arrays blocks over 64-bit words; scalar path: per-bit reference kernels.\n");
+
+    // Throwaway warmup so neither measured mode pays first-touch costs
+    // (worker spawn-up, allocator warm-up).
+    for &cores in &core_counts {
+        let _ = measure(&set, threshold, cores, SimdMode::Lanes);
+    }
+
+    let mut rows = Vec::new();
+    let mut single_core_speedup = None;
+    for &cores in &core_counts {
+        let scalar = measure(&set, threshold, cores, SimdMode::Scalar);
+        let lanes = measure(&set, threshold, cores, SimdMode::Lanes);
+        assert_eq!(
+            lanes.digest, scalar.digest,
+            "decision streams diverged between SIMD modes at {cores} cores — lane-kernel bug"
+        );
+        assert_eq!(lanes.accepted, scalar.accepted);
+
+        let end_to_end = speedup(scalar.point.filter_seconds, lanes.point.filter_seconds);
+        if cores == 1 {
+            single_core_speedup = Some(end_to_end);
+        }
+        println!("--- {cores} core(s) ---");
+        println!(
+            "decisions    : byte-identical (digest {:#018x}, {} accepted)",
+            lanes.digest, lanes.accepted
+        );
+        println!(
+            "scalar       : kernel {} s, filter {} s ({} Mpairs/s)",
+            fmt(scalar.point.kernel_seconds, 4),
+            fmt(scalar.point.filter_seconds, 4),
+            fmt(scalar.point.filter_mps, 2)
+        );
+        println!(
+            "lanes        : kernel {} s (encode fused in), filter {} s ({} Mpairs/s)",
+            fmt(lanes.point.kernel_seconds, 4),
+            fmt(lanes.point.filter_seconds, 4),
+            fmt(lanes.point.filter_mps, 2)
+        );
+        println!(
+            "end-to-end   : {}x speedup (filter time)\n",
+            fmt(end_to_end, 2)
+        );
+
+        rows.push(summary_row(cores, "scalar", &scalar, None));
+        rows.push(summary_row(cores, "lanes", &lanes, Some(end_to_end)));
+    }
+
+    let single = single_core_speedup.expect("single-core row always measured");
+    assert!(
+        single >= 4.0,
+        "lane path must clear the 4x end-to-end bar over the scalar baseline \
+         on the single-core row, measured {single:.2}x"
+    );
+
+    // Markdown block for the CI job summary (lifted verbatim by the workflow).
+    println!("<!-- simd-vs-scalar:begin -->");
+    println!("### `simd_speedup` SIMD-vs-scalar comparison ({pairs} pairs, {read_len} bp, e = {threshold})");
+    println!();
+    println!("| cores | mode | decisions digest | kernel s | filter s | Mpairs/s | speedup |");
+    println!("|---|---|---|---|---|---|---|");
+    for row in &rows {
+        println!("{row}");
+    }
+    println!();
+    println!(
+        "Decisions byte-identical across modes: **yes**; single-core end-to-end speedup **{}x** (bar: 4x).",
+        fmt(single, 2)
+    );
+    println!("<!-- simd-vs-scalar:end -->");
+}

@@ -7,7 +7,7 @@
 //! (`--full` adds the 150 bp and 250 bp tables, i.e. S.14 and S.15.)
 
 use gk_bench::datasets::throughput_set;
-use gk_bench::runner::{cpu_throughput, gpu_throughput};
+use gk_bench::runner::{cpu_throughput_with_mode, gpu_throughput};
 use gk_bench::table::{fmt, Table};
 use gk_bench::{HarnessArgs, SETUP1, SETUP2};
 use gk_core::config::EncodingActor;
@@ -44,8 +44,8 @@ fn main() {
             .with_title(format!("{} ({})", setup.name, setup.device().name));
 
             for &e in &thresholds {
-                let cpu1 = cpu_throughput(&set, e, 1);
-                let cpu12 = cpu_throughput(&set, e, setup.cpu_cores);
+                let cpu1 = cpu_throughput_with_mode(&set, e, 1, args.simd_mode());
+                let cpu12 = cpu_throughput_with_mode(&set, e, setup.cpu_cores, args.simd_mode());
                 let dev1 = gpu_throughput(&setup, 1, &set, e, EncodingActor::Device);
                 let host1 = gpu_throughput(&setup, 1, &set, e, EncodingActor::Host);
                 let (dev8, host8) = if setup.max_devices >= 8 {

@@ -7,6 +7,7 @@ use gk_core::gpu::GateKeeperGpu;
 use gk_core::multi_gpu::MultiGpuGateKeeper;
 use gk_core::pipeline::StreamFilterRun;
 use gk_core::timing::billions_in_40_minutes;
+use gk_filters::SimdMode;
 use gk_seq::pairs::PairSet;
 use gk_seq::stream::PairBatches;
 use serde::{Deserialize, Serialize};
@@ -96,9 +97,24 @@ pub fn gpu_throughput(
 }
 
 /// Runs the multicore GateKeeper-CPU baseline over a set, on the shared pool
-/// for `cores` (no per-call thread spawning).
+/// for `cores` (no per-call thread spawning). The SIMD mode is `Auto`, so
+/// `GK_SIMD=scalar` in the environment forces the per-bit reference kernels.
 pub fn cpu_throughput(set: &PairSet, threshold: u32, cores: usize) -> ThroughputPoint {
-    let run = GateKeeperCpu::with_pool(threshold, cores, shared_pool(cores)).filter_set(set);
+    cpu_throughput_with_mode(set, threshold, cores, SimdMode::Auto)
+}
+
+/// Like [`cpu_throughput`] with an explicit SIMD mode: `Lanes` for the
+/// word/lane-parallel kernels, `Scalar` for the per-bit reference baseline the
+/// speedup is reported against.
+pub fn cpu_throughput_with_mode(
+    set: &PairSet,
+    threshold: u32,
+    cores: usize,
+    mode: SimdMode,
+) -> ThroughputPoint {
+    let run = GateKeeperCpu::with_pool(threshold, cores, shared_pool(cores))
+        .with_simd_mode(mode)
+        .filter_set(set);
     ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds)
 }
 
@@ -281,6 +297,18 @@ mod tests {
         assert_eq!(serial_hash, prefetch_hash);
         assert_eq!(serial.timing, prefetched.timing);
         assert_eq!(serial.batches, prefetched.batches);
+    }
+
+    #[test]
+    fn cpu_throughput_runs_in_both_simd_modes() {
+        let set = throughput_set(100, 2_000);
+        let lanes = cpu_throughput_with_mode(&set, 4, 2, SimdMode::Lanes);
+        let scalar = cpu_throughput_with_mode(&set, 4, 2, SimdMode::Scalar);
+        assert!(lanes.kernel_seconds > 0.0);
+        assert!(scalar.kernel_seconds > 0.0);
+        // Lane mode fuses encoding into the kernel, so kernel time == filter time.
+        assert!((lanes.kernel_seconds - lanes.filter_seconds).abs() < 1e-12);
+        assert!(scalar.filter_seconds >= scalar.kernel_seconds);
     }
 
     #[test]

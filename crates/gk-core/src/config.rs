@@ -12,6 +12,7 @@
 //!   the number of host↔device transfers stays minimal (§3.1: "the configuration
 //!   step ensures that the batch size is maximized").
 
+use gk_filters::SimdMode;
 use gk_gpusim::device::DeviceSpec;
 use gk_gpusim::executor::LaunchConfig;
 use gk_seq::packed::BASES_PER_WORD;
@@ -58,6 +59,11 @@ pub struct FilterConfig {
     /// `TimingBreakdown::host_wall_seconds` changes. Falls back to the serial
     /// path when the pool is sequential (`RAYON_NUM_THREADS=1`).
     pub host_prefetch: bool,
+    /// SIMD lane selection for the filter kernels: the 4-lane struct-of-arrays
+    /// path, the per-bit scalar reference, or `Auto` (the default), which
+    /// consults the `GK_SIMD` environment variable. Decisions are
+    /// byte-identical across modes.
+    pub simd: SimdMode,
 }
 
 impl FilterConfig {
@@ -72,6 +78,7 @@ impl FilterConfig {
             overlap: false,
             chunk_pairs: 0,
             host_prefetch: false,
+            simd: SimdMode::Auto,
         }
     }
 
@@ -127,6 +134,13 @@ impl FilterConfig {
     /// the worker pool while the current chunk's kernel closure runs.
     pub fn with_host_prefetch(mut self, host_prefetch: bool) -> FilterConfig {
         self.host_prefetch = host_prefetch;
+        self
+    }
+
+    /// Selects the SIMD mode for the filter kernels (lanes, scalar reference,
+    /// or environment-driven `Auto`).
+    pub fn with_simd_mode(mut self, simd: SimdMode) -> FilterConfig {
+        self.simd = simd;
         self
     }
 
@@ -232,6 +246,17 @@ mod tests {
             FilterConfig::new(100, 4)
                 .with_host_prefetch(true)
                 .host_prefetch
+        );
+    }
+
+    #[test]
+    fn simd_mode_knob_defaults_to_auto_and_applies() {
+        assert_eq!(FilterConfig::new(100, 4).simd, SimdMode::Auto);
+        assert_eq!(
+            FilterConfig::new(100, 4)
+                .with_simd_mode(SimdMode::Scalar)
+                .simd,
+            SimdMode::Scalar
         );
     }
 

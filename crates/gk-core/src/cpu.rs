@@ -9,13 +9,18 @@
 //! observable.
 
 use crate::timing::TimingBreakdown;
-use gk_filters::gatekeeper::{gatekeeper_kernel, GateKeeperConfig};
+use gk_filters::gatekeeper::{gatekeeper_kernel_reference, GateKeeperConfig};
+use gk_filters::simd::{gatekeeper_filter_block, SimdMode};
 use gk_filters::traits::FilterDecision;
 use gk_seq::pairs::{encode_pair_batch, PairSet};
 use gk_seq::PackedSeq;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Pairs handed to one lane-parallel block task: large enough to amortise the
+/// struct-of-arrays transpose, small enough to keep the Rayon work queue full.
+const LANE_BLOCK_PAIRS: usize = 256;
 
 /// Result of a CPU filtering run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,6 +64,7 @@ pub struct GateKeeperCpu {
     threshold: u32,
     threads: usize,
     kernel_config: GateKeeperConfig,
+    simd: SimdMode,
     pool: Arc<rayon::ThreadPool>,
 }
 
@@ -87,8 +93,17 @@ impl GateKeeperCpu {
             threshold,
             threads: threads.max(1),
             kernel_config: GateKeeperConfig::gpu(threshold),
+            simd: SimdMode::Auto,
             pool,
         }
+    }
+
+    /// Selects the SIMD mode (lane-parallel blocks, per-bit scalar reference,
+    /// or environment-driven `Auto`, the default). Decisions are byte-identical
+    /// across modes; only throughput changes.
+    pub fn with_simd_mode(mut self, simd: SimdMode) -> GateKeeperCpu {
+        self.simd = simd;
+        self
     }
 
     /// Error threshold.
@@ -101,15 +116,59 @@ impl GateKeeperCpu {
         self.threads
     }
 
-    /// Filters a whole pair set, measuring encoding and filtering separately.
+    /// The configured SIMD mode (unresolved; `Auto` consults `GK_SIMD` at run
+    /// time).
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
+    }
+
+    /// Filters a whole pair set.
+    ///
+    /// In lane mode (the default via `Auto`), blocks of pairs are transposed
+    /// straight from ASCII into the struct-of-arrays layout inside the kernel
+    /// phase — encoding is fused into filtering, so `kernel_seconds` equals
+    /// `filter_seconds`. In scalar mode the run keeps the historical two-phase
+    /// shape (host encode, then the per-bit reference kernel), which is the
+    /// measured baseline the SIMD speedup is reported against. Decisions are
+    /// byte-identical across modes and thread counts.
     pub fn filter_set(&self, pairs: &PairSet) -> CpuFilterRun {
+        if self.simd.use_lanes() {
+            self.filter_set_lanes(pairs)
+        } else {
+            self.filter_set_scalar(pairs)
+        }
+    }
+
+    fn filter_set_lanes(&self, pairs: &PairSet) -> CpuFilterRun {
+        let start = Instant::now();
+        let config = self.kernel_config;
+        let decisions: Vec<FilterDecision> = self.pool.install(|| {
+            use rayon::prelude::*;
+            pairs
+                .pairs
+                .par_chunks(LANE_BLOCK_PAIRS)
+                .flat_map(|block| gatekeeper_filter_block(block, &config, SimdMode::Lanes))
+                .collect()
+        });
+        let end = Instant::now();
+        let elapsed = (end - start).as_secs_f64();
+
+        CpuFilterRun {
+            decisions,
+            kernel_seconds: elapsed,
+            filter_seconds: elapsed,
+            threads: self.threads,
+        }
+    }
+
+    fn filter_set_scalar(&self, pairs: &PairSet) -> CpuFilterRun {
         let start = Instant::now();
         // Encoding phase (the CPU always encodes on the host).
         let encoded: Vec<(PackedSeq, PackedSeq)> =
             self.pool.install(|| encode_pair_batch(&pairs.pairs));
         let encode_done = Instant::now();
 
-        // Filtering phase: the GateKeeper algorithm proper.
+        // Filtering phase: the GateKeeper algorithm proper, per-bit reference.
         let config = self.kernel_config;
         let decisions: Vec<FilterDecision> = self.pool.install(|| {
             use rayon::prelude::*;
@@ -119,7 +178,7 @@ impl GateKeeperCpu {
                     if read.is_undefined() || reference.is_undefined() {
                         FilterDecision::undefined_pass()
                     } else {
-                        gatekeeper_kernel(read, reference, &config)
+                        gatekeeper_kernel_reference(read, reference, &config)
                     }
                 })
                 .collect()
@@ -174,6 +233,24 @@ mod tests {
         let single = GateKeeperCpu::new(5, 1).filter_set(&pairs);
         let multi = GateKeeperCpu::new(5, 4).filter_set(&pairs);
         assert_eq!(single.decisions, multi.decisions);
+    }
+
+    #[test]
+    fn simd_mode_does_not_change_decisions() {
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.1;
+        let pairs = profile.generate(1_500, 17);
+        for threshold in [0u32, 2, 5] {
+            let lanes = GateKeeperCpu::new(threshold, 2)
+                .with_simd_mode(SimdMode::Lanes)
+                .filter_set(&pairs);
+            let scalar = GateKeeperCpu::new(threshold, 2)
+                .with_simd_mode(SimdMode::Scalar)
+                .filter_set(&pairs);
+            assert_eq!(lanes.decisions, scalar.decisions, "e = {threshold}");
+            // Lane mode fuses encoding into the kernel phase.
+            assert_eq!(lanes.kernel_seconds, lanes.filter_seconds);
+        }
     }
 
     #[test]

@@ -51,7 +51,8 @@ use crate::pipeline::{
     PREFETCH_IN_FLIGHT,
 };
 use crate::timing::TimingBreakdown;
-use gk_filters::gatekeeper::{gatekeeper_kernel, GateKeeperConfig};
+use gk_filters::gatekeeper::{gatekeeper_kernel, gatekeeper_kernel_reference, GateKeeperConfig};
+use gk_filters::simd::{gatekeeper_filter_block_packed, gatekeeper_filter_block_slices, SimdMode};
 use gk_filters::traits::{FilterDecision, PreAlignmentFilter};
 use gk_gpusim::device::DeviceSpec;
 use gk_gpusim::executor::{launch_kernel, KernelResources, ThreadReport};
@@ -82,6 +83,10 @@ const CYCLES_PER_MASK_WORD: u64 = 1_000;
 const CYCLES_UNDEFINED: u64 = 300;
 /// Extra data-dependent cycles per estimated edit (amendment/counting divergence).
 const CYCLES_PER_EDIT: u64 = 120;
+
+/// Pairs handed to one lane-parallel kernel task in SIMD mode (mirrors the
+/// CPU baseline's block size so both paths amortise the SoA transpose alike).
+const LANE_BLOCK_PAIRS: usize = 256;
 
 /// Result of filtering a pair set on the (simulated) GPU.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -264,22 +269,51 @@ impl GateKeeperGpu {
             prefetch_seconds = t_reads + t_refs;
         }
 
-        // Stage 2 (device): kernel launch, one filtration per thread. In
-        // host-encoded mode the thread consumes pre-packed words; in
-        // device-encoded mode it runs the fused kernel — pack the raw bases
-        // it was handed, then filter — which is what makes the two paths
-        // byte-identical: both end up filtering the same `PackedSeq`s.
+        // Stage 2 (device): kernel launch, one filtration per thread (scalar
+        // mode) or one warp-like lane group of four per task (lane mode). In
+        // host-encoded mode the threads consume pre-packed words; in
+        // device-encoded mode they run the fused kernel — pack the raw bases
+        // they were handed, then filter — which is what makes the two paths
+        // byte-identical: both end up filtering the same 2-bit sequences.
+        let use_lanes = self.config.simd.use_lanes();
         let decisions: Vec<FilterDecision> = match input {
+            ChunkInput::Encoded(encoded) if use_lanes => encoded
+                .par_chunks(LANE_BLOCK_PAIRS)
+                .flat_map(|block| {
+                    let refs: Vec<(&PackedSeq, &PackedSeq)> = block
+                        .iter()
+                        .map(|(read, reference)| (read, reference))
+                        .collect();
+                    gatekeeper_filter_block_packed(&refs, &self.kernel_config, SimdMode::Lanes)
+                })
+                .collect(),
             ChunkInput::Encoded(encoded) => encoded
                 .par_iter()
                 .map(|(read, reference)| {
                     if read.is_undefined() || reference.is_undefined() {
                         FilterDecision::undefined_pass()
                     } else {
-                        gatekeeper_kernel(read, reference, &self.kernel_config)
+                        gatekeeper_kernel_reference(read, reference, &self.kernel_config)
                     }
                 })
                 .collect(),
+            ChunkInput::Raw(raw) if use_lanes => {
+                let starts: Vec<usize> = (0..raw.len()).step_by(LANE_BLOCK_PAIRS).collect();
+                starts
+                    .into_par_iter()
+                    .flat_map(|start| {
+                        let end = (start + LANE_BLOCK_PAIRS).min(raw.len());
+                        let slices: Vec<(&[u8], &[u8])> = (start..end)
+                            .map(|i| (raw.read(i), raw.reference(i)))
+                            .collect();
+                        gatekeeper_filter_block_slices(
+                            &slices,
+                            &self.kernel_config,
+                            SimdMode::Lanes,
+                        )
+                    })
+                    .collect()
+            }
             ChunkInput::Raw(raw) => (0..raw.len())
                 .into_par_iter()
                 .map(|i| {
@@ -288,7 +322,7 @@ impl GateKeeperGpu {
                     if read.is_undefined() || reference.is_undefined() {
                         FilterDecision::undefined_pass()
                     } else {
-                        gatekeeper_kernel(&read, &reference, &self.kernel_config)
+                        gatekeeper_kernel_reference(&read, &reference, &self.kernel_config)
                     }
                 })
                 .collect(),

@@ -12,11 +12,70 @@
 //! * setting leading/trailing ranges to `1` (the GateKeeper-GPU boundary fix), and
 //! * the two edit-counting schemes (distinct 1-runs, as the SHD/GateKeeper
 //!   hardware effectively counts, or raw popcount for ablation).
+//!
+//! Every mask-walking operation ships in two implementations. The default
+//! methods are **word-parallel**: amendment is a morphological closing built
+//! from carry-propagating 1-bit shifts, run/edit counting uses
+//! popcount-of-run-starts and `trailing_ones` scans, and range sets write
+//! whole-word masks. The `*_reference` twins keep the original per-bit loops;
+//! they are the runtime scalar fallback (`GK_SIMD=scalar`) and the oracle the
+//! differential property suite checks the widened code against.
+//!
+//! Invariant: the bits beyond `len` in the last storage word are always zero
+//! (every constructor and mutator restores this), so the word-parallel paths
+//! can trust the padding.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const WORD_BITS: usize = 64;
+
+/// Number of maximal runs of 1s across LSB-first words with clean padding:
+/// a run starts at every 1 bit whose predecessor (LSB-wards, carrying across
+/// words) is 0.
+pub(crate) fn count_runs_in_words(words: &[u64]) -> u32 {
+    let mut runs = 0u32;
+    let mut carry = 0u64; // MSB of the previous word, shifted into bit 0
+    for &w in words {
+        runs += (w & !((w << 1) | carry)).count_ones();
+        carry = w >> 63;
+    }
+    runs
+}
+
+/// Windowed edit count across LSB-first words with clean padding: every
+/// maximal streak of `L` ones contributes `⌈L / window⌉`. Scans streak by
+/// streak with `trailing_zeros`/`trailing_ones`, carrying runs across word
+/// boundaries, so the cost scales with the number of runs, not the length.
+pub(crate) fn count_edits_windowed_in_words(words: &[u64], window: usize) -> u32 {
+    let window = window.max(1);
+    let mut edits = 0u32;
+    let mut run = 0usize; // length of the streak continuing from the last word
+    for &word in words {
+        let mut w = word;
+        let mut bits_left = WORD_BITS;
+        while bits_left > 0 {
+            if w & 1 == 0 {
+                if run > 0 {
+                    edits += run.div_ceil(window) as u32;
+                    run = 0;
+                }
+                let zeros = (w.trailing_zeros() as usize).min(bits_left);
+                w = w.checked_shr(zeros as u32).unwrap_or(0);
+                bits_left -= zeros;
+            } else {
+                let ones = (w.trailing_ones() as usize).min(bits_left);
+                run += ones;
+                w = w.checked_shr(ones as u32).unwrap_or(0);
+                bits_left -= ones;
+            }
+        }
+    }
+    if run > 0 {
+        edits += run.div_ceil(window) as u32;
+    }
+    edits
+}
 
 /// A bitmask over base positions (bit `i` describes base `i`; LSB-first layout).
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +115,23 @@ impl BaseMask {
         mask
     }
 
+    /// Builds a mask over `len` bases directly from LSB-first 64-bit words
+    /// (bit `i` of the mask is bit `i % 64` of word `i / 64`). The word vector
+    /// is resized to the exact storage size and any bits beyond `len` are
+    /// cleared, so callers may hand over scratch words with dirty padding.
+    pub fn from_words(mut bits: Vec<u64>, len: usize) -> BaseMask {
+        bits.resize(len.div_ceil(WORD_BITS), 0);
+        let mut mask = BaseMask { bits, len };
+        mask.clear_padding();
+        mask
+    }
+
+    /// The underlying LSB-first storage words (padding bits beyond
+    /// [`BaseMask::len`] are guaranteed zero).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Number of base positions covered.
     pub fn len(&self) -> usize {
         self.len
@@ -88,7 +164,30 @@ impl BaseMask {
     }
 
     /// Sets every bit in `[start, end)` to 1 (clamped to the mask length).
+    /// Word-parallel: whole-word masks instead of a per-bit loop.
     pub fn set_range(&mut self, start: usize, end: usize) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first = start / WORD_BITS;
+        let last = (end - 1) / WORD_BITS;
+        let head = u64::MAX << (start % WORD_BITS);
+        let tail = u64::MAX >> (WORD_BITS - 1 - (end - 1) % WORD_BITS);
+        if first == last {
+            self.bits[first] |= head & tail;
+        } else {
+            self.bits[first] |= head;
+            for w in &mut self.bits[first + 1..last] {
+                *w = u64::MAX;
+            }
+            self.bits[last] |= tail;
+        }
+    }
+
+    /// Per-bit reference implementation of [`BaseMask::set_range`] (the
+    /// runtime scalar fallback and differential-test oracle).
+    pub fn set_range_reference(&mut self, start: usize, end: usize) {
         let end = end.min(self.len);
         for i in start..end {
             self.set(i);
@@ -116,8 +215,14 @@ impl BaseMask {
         self.bits.iter().map(|w| w.count_ones()).sum()
     }
 
-    /// Number of maximal runs of consecutive 1 bits.
+    /// Number of maximal runs of consecutive 1 bits. Word-parallel:
+    /// popcount of run-start bits with carry between words.
     pub fn count_runs(&self) -> u32 {
+        count_runs_in_words(&self.bits)
+    }
+
+    /// Per-bit reference implementation of [`BaseMask::count_runs`].
+    pub fn count_runs_reference(&self) -> u32 {
         let mut runs = 0u32;
         let mut in_run = false;
         for i in 0..self.len {
@@ -144,7 +249,15 @@ impl BaseMask {
     /// `d` edits — the property behind the paper's zero-false-reject observation —
     /// while a fully mismatching pair still counts ~`len / window` edits and is
     /// rejected. `window = 1` degenerates to a plain popcount.
+    ///
+    /// Word-parallel: streak-at-a-time `trailing_ones` scan over the storage
+    /// words instead of a per-bit walk.
     pub fn count_edits_windowed(&self, window: usize) -> u32 {
+        count_edits_windowed_in_words(&self.bits, window)
+    }
+
+    /// Per-bit reference implementation of [`BaseMask::count_edits_windowed`].
+    pub fn count_edits_windowed_reference(&self, window: usize) -> u32 {
         let window = window.max(1);
         let mut edits = 0u32;
         let mut i = 0usize;
@@ -167,7 +280,55 @@ impl BaseMask {
     /// `max_run` that is flanked by `1`s on both sides (§2.1: "the bitvectors are
     /// amended before AND to turn short streaks of 0s into 1s considering these 0s
     /// are useless and do not represent an informative part").
+    ///
+    /// Word-parallel: the flanked-short-run flip is a morphological closing.
+    /// Dilate with `m` iterations of `d |= d << 1` (so `d = OR of x << j` for
+    /// `j = 0..=m`), erode with `m` iterations of `d &= d >> 1`, and OR the
+    /// result back into the mask. A zero run of length `L ≤ m` flanked by 1s
+    /// is fully covered by the dilation of its left flank and survives the
+    /// erosion thanks to its right flank; longer runs keep a dead zone, and
+    /// unflanked leading/trailing runs never dilate from the missing side. The
+    /// scratch carries one spare word so dilation past a word-aligned `len`
+    /// is not truncated, and the clean padding guarantees zeros beyond `len`.
     pub fn amend_short_zero_runs(&mut self, max_run: usize) {
+        if self.len == 0 || max_run == 0 {
+            return;
+        }
+        let m = max_run.min(self.len);
+        if m > WORD_BITS {
+            // The closing needs `len + m` bits of dilation head-room and `m`
+            // shift passes; for amendment widths beyond a word (never reached
+            // by the paper's configs) the per-bit walk is both simpler and
+            // faster.
+            return self.amend_short_zero_runs_reference(max_run);
+        }
+        let mut d: Vec<u64> = Vec::with_capacity(self.bits.len() + 2);
+        d.extend_from_slice(&self.bits);
+        d.push(0);
+        d.push(0);
+        for _ in 0..m {
+            // d |= d << 1 across words, high row first so carries read the
+            // not-yet-updated lower neighbour.
+            for r in (0..d.len()).rev() {
+                let carry = if r > 0 { d[r - 1] >> 63 } else { 0 };
+                d[r] |= (d[r] << 1) | carry;
+            }
+        }
+        for _ in 0..m {
+            // d &= d >> 1 across words, low row first for the same reason.
+            for r in 0..d.len() {
+                let carry = if r + 1 < d.len() { d[r + 1] << 63 } else { 0 };
+                d[r] &= (d[r] >> 1) | carry;
+            }
+        }
+        for (bits, closed) in self.bits.iter_mut().zip(&d) {
+            *bits |= closed;
+        }
+        self.clear_padding();
+    }
+
+    /// Per-bit reference implementation of [`BaseMask::amend_short_zero_runs`].
+    pub fn amend_short_zero_runs_reference(&mut self, max_run: usize) {
         if self.len == 0 || max_run == 0 {
             return;
         }

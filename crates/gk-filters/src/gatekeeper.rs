@@ -36,7 +36,9 @@
 
 use crate::bitvec::BaseMask;
 use crate::traits::{FilterDecision, PreAlignmentFilter};
-use crate::words::{shift_left_bases, shift_right_bases, xor_to_base_mask};
+use crate::words::{
+    shift_left_bases, shift_right_bases, xor_to_base_mask, xor_to_base_mask_reference,
+};
 use gk_seq::PackedSeq;
 use serde::{Deserialize, Serialize};
 
@@ -103,6 +105,50 @@ pub fn gatekeeper_kernel(
     reference: &PackedSeq,
     config: &GateKeeperConfig,
 ) -> FilterDecision {
+    kernel_impl(read, reference, config, false)
+}
+
+/// Per-bit reference twin of [`gatekeeper_kernel`].
+///
+/// Routes every mask operation through the `*_reference` primitives (per-bit
+/// loops instead of word-parallel rewrites). This is the measured "scalar"
+/// baseline of the SIMD layer and the oracle of the differential test suite —
+/// its decisions must be byte-identical to the widened kernel's.
+pub fn gatekeeper_kernel_reference(
+    read: &PackedSeq,
+    reference: &PackedSeq,
+    config: &GateKeeperConfig,
+) -> FilterDecision {
+    kernel_impl(read, reference, config, true)
+}
+
+fn kernel_impl(
+    read: &PackedSeq,
+    reference: &PackedSeq,
+    config: &GateKeeperConfig,
+    use_reference: bool,
+) -> FilterDecision {
+    let xor_mask = if use_reference {
+        xor_to_base_mask_reference
+    } else {
+        xor_to_base_mask
+    };
+    let amend = if use_reference {
+        BaseMask::amend_short_zero_runs_reference
+    } else {
+        BaseMask::amend_short_zero_runs
+    };
+    let count_windowed = if use_reference {
+        BaseMask::count_edits_windowed_reference
+    } else {
+        BaseMask::count_edits_windowed
+    };
+    let set_range = if use_reference {
+        BaseMask::set_range_reference
+    } else {
+        BaseMask::set_range
+    };
+
     let len = read.len().min(reference.len());
     if len == 0 {
         return FilterDecision::accept(0);
@@ -111,12 +157,12 @@ pub fn gatekeeper_kernel(
     let window = config.amend_run_len + 1;
 
     // Hamming mask: exact-match detection.
-    let mut hamming = xor_to_base_mask(read.words(), reference.words(), len);
+    let mut hamming = xor_mask(read.words(), reference.words(), len);
 
     if e == 0 {
         // Exact matching: any difference rejects the pair.
         let errors = match config.counting {
-            EditCounting::WindowedRuns => hamming.count_edits_windowed(window),
+            EditCounting::WindowedRuns => count_windowed(&hamming, window),
             EditCounting::Popcount => hamming.count_ones(),
         };
         return if hamming.count_ones() == 0 {
@@ -136,28 +182,28 @@ pub fn gatekeeper_kernel(
     // `e ≥ len` now degrades to the full set of meaningful shifts.
     let max_shift = (e as usize).min(len.saturating_sub(1));
     let mut masks: Vec<BaseMask> = Vec::with_capacity(2 * max_shift + 1);
-    hamming.amend_short_zero_runs(config.amend_run_len);
+    amend(&mut hamming, config.amend_run_len);
     masks.push(hamming);
 
     for k in 1..=max_shift {
         // Deletion mask: read shifted towards higher positions by k bases.
         let shifted = shift_right_bases(read.words(), k);
-        let mut del_mask = xor_to_base_mask(&shifted, reference.words(), len);
-        del_mask.amend_short_zero_runs(config.amend_run_len);
+        let mut del_mask = xor_mask(&shifted, reference.words(), len);
+        amend(&mut del_mask, config.amend_run_len);
         if config.improved_boundaries {
             // The first k positions were vacated by the shift; the comparison there
             // is against bases outside the read and must signal a potential error.
-            del_mask.set_range(0, k.min(len));
+            set_range(&mut del_mask, 0, k.min(len));
         }
         masks.push(del_mask);
 
         // Insertion mask: read shifted towards lower positions by k bases.
         let shifted = shift_left_bases(read.words(), k);
-        let mut ins_mask = xor_to_base_mask(&shifted, reference.words(), len);
-        ins_mask.amend_short_zero_runs(config.amend_run_len);
+        let mut ins_mask = xor_mask(&shifted, reference.words(), len);
+        amend(&mut ins_mask, config.amend_run_len);
         if config.improved_boundaries {
             // The last k positions were vacated by the shift.
-            ins_mask.set_range(len.saturating_sub(k), len);
+            set_range(&mut ins_mask, len.saturating_sub(k), len);
         }
         masks.push(ins_mask);
     }
@@ -169,7 +215,7 @@ pub fn gatekeeper_kernel(
     }
 
     let errors = match config.counting {
-        EditCounting::WindowedRuns => combined.count_edits_windowed(window),
+        EditCounting::WindowedRuns => count_windowed(&combined, window),
         EditCounting::Popcount => combined.count_ones(),
     };
     if errors <= e {

@@ -31,6 +31,7 @@ pub mod bitvec;
 pub mod gatekeeper;
 pub mod magnet;
 pub mod shouji;
+pub mod simd;
 pub mod sneaky_snake;
 pub mod traits;
 pub mod words;
@@ -38,9 +39,14 @@ pub mod words;
 pub use accuracy::{evaluate_filter, evaluate_with_truth, ground_truth_distances, AccuracyReport};
 pub use bitvec::BaseMask;
 pub use gatekeeper::{
-    EditCounting, GateKeeperConfig, GateKeeperFpgaFilter, GateKeeperGpuFilter, ShdFilter,
+    gatekeeper_kernel, gatekeeper_kernel_reference, EditCounting, GateKeeperConfig,
+    GateKeeperFpgaFilter, GateKeeperGpuFilter, ShdFilter,
 };
 pub use magnet::MagnetFilter;
 pub use shouji::ShoujiFilter;
+pub use simd::{
+    gatekeeper_filter_block, gatekeeper_filter_block_packed, gatekeeper_filter_block_slices,
+    gatekeeper_kernel_x4, SimdMode, SIMD_MODE_ENV,
+};
 pub use sneaky_snake::SneakySnakeFilter;
 pub use traits::{FilterDecision, PreAlignmentFilter};

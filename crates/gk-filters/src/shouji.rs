@@ -56,16 +56,23 @@ impl ShoujiFilter {
         if len == 0 {
             return 0;
         }
-        let e = e as isize;
+        // Diagonals outside the reachable band (`col + diag` out of reference
+        // range for every column) are all-mismatch and can never beat the seeded
+        // window width, so clamp the sweep instead of walking up to ~2^33 no-op
+        // diagonals per window when a caller passes a huge threshold.
+        let lo = -((e as usize).min(len - 1) as isize);
+        let hi = (e as usize).min(reference.len() - 1) as isize;
         let mut edits = 0u32;
 
         let mut col = 0usize;
         while col < len {
             let end = (col + WINDOW).min(len);
             // Find the diagonal whose segment over [col, end) has the most matches,
-            // i.e. the fewest 1s to contribute to the Shouji bit-vector.
+            // i.e. the fewest 1s to contribute to the Shouji bit-vector. The seed is
+            // the all-mismatch score of the (possibly tail-truncated) window, which
+            // every in-band diagonal can only improve on.
             let mut best_mismatches = (end - col) as u32;
-            for diag in -e..=e {
+            for diag in lo..=hi {
                 let mismatches = (col..end)
                     .filter(|&c| Self::mismatch(read, reference, c, diag))
                     .count() as u32;
@@ -114,6 +121,33 @@ mod tests {
 
     fn random_seq(len: usize, rng: &mut StdRng) -> Vec<u8> {
         (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    }
+
+    /// Brute-force window scorer: enumerates the full `[-e, e]` band with naive
+    /// indexing and seeds each window from `u32::MAX` rather than the window
+    /// width, so it shares no shortcut with the production code — in particular
+    /// not the truncated-width seed of the final, tail-overhanging window.
+    fn brute_force_estimate(read: &[u8], reference: &[u8], e: u32) -> u32 {
+        let len = read.len().min(reference.len());
+        let mut edits = 0u32;
+        let mut col = 0usize;
+        while col < len {
+            let end = (col + WINDOW).min(len);
+            let mut best = u32::MAX;
+            for diag in -(e as i64)..=(e as i64) {
+                let mismatches = (col..end)
+                    .filter(|&c| {
+                        let t = c as i64 + diag;
+                        t < 0 || t as usize >= reference.len() || read[c] != reference[t as usize]
+                    })
+                    .count() as u32;
+                best = best.min(mismatches);
+            }
+            // The band always contains diag = 0, so `best` is a real score.
+            edits += best;
+            col = end;
+        }
+        edits
     }
 
     #[test]
@@ -224,6 +258,67 @@ mod tests {
         assert!(
             shouji_accepts <= fpga_accepts,
             "Shouji accepted {shouji_accepts}, GateKeeper-FPGA accepted {fpga_accepts}"
+        );
+    }
+
+    #[test]
+    fn window_scores_match_brute_force_scorer() {
+        // Equivalence sweep for the window scoring, with deliberate coverage of
+        // final windows that overhang the read tail (len % WINDOW != 0) and of
+        // reads shorter/longer than the reference: the production scorer seeds
+        // `best_mismatches` with the truncated window width, and this sweep
+        // pins that seed to the naive full-band minimum.
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..400 {
+            let ref_len = rng.gen_range(1usize..=70);
+            let reference = random_seq(ref_len, &mut rng);
+            let read = if case % 3 == 0 {
+                // Ragged lengths, hitting every len % WINDOW residue over time.
+                random_seq(rng.gen_range(1usize..=70), &mut rng)
+            } else {
+                mutate_with_edits(&reference, rng.gen_range(0usize..8), 0.4, &mut rng)
+            };
+            let e = rng.gen_range(0u32..=12);
+            assert_eq!(
+                ShoujiFilter::estimate_edits(&read, &reference, e),
+                brute_force_estimate(&read, &reference, e),
+                "read {} bp vs reference {} bp at e = {e}",
+                read.len(),
+                reference.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn overhanging_final_window_scores_match_brute_force_at_fixed_lengths() {
+        // Deterministic pass over every window residue right at the tail.
+        let mut rng = StdRng::seed_from_u64(8);
+        for len in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 97, 98, 99, 100, 101, 102, 103,
+        ] {
+            let reference = random_seq(len, &mut rng);
+            let read = mutate_with_edits(&reference, 3, 0.5, &mut rng);
+            for e in [0u32, 1, 3, 5] {
+                assert_eq!(
+                    ShoujiFilter::estimate_edits(&read, &reference, e),
+                    brute_force_estimate(&read, &reference, e),
+                    "len {len}, e = {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_threshold_terminates() {
+        // Regression: the diagonal sweep used to iterate the raw `-e..=e` range,
+        // which at e = u32::MAX is ~8.6 billion no-op diagonals per window.
+        let a: Vec<u8> = (0..101).map(|i| b"ACGT"[i % 4]).collect();
+        let b: Vec<u8> = (0..97).map(|i| b"ACGT"[(i + 1) % 4]).collect();
+        let d = ShoujiFilter::new(u32::MAX).filter_pair(&a, &b);
+        assert!(d.accepted);
+        assert_eq!(
+            ShoujiFilter::estimate_edits(&a, &b, u32::MAX),
+            brute_force_estimate(&a, &b, 150),
         );
     }
 

@@ -49,12 +49,16 @@ impl SneakySnakeFilter {
         if len == 0 {
             return 0;
         }
-        let e = e as isize;
+        // Diagonals whose offset lands outside the reference for every column
+        // yield empty runs; clamp the sweep to the reachable band so a huge
+        // threshold does not turn each column advance into ~2^33 no-op probes.
+        let lo = -((e as usize).min(len - 1) as isize);
+        let hi = (e as usize).min(reference.len() - 1) as isize;
         let mut col = 0usize;
         let mut edits = 0u32;
         while col < len {
             let mut best = 0usize;
-            for diag in -e..=e {
+            for diag in lo..=hi {
                 let run = Self::free_run(read, reference, diag, col, len);
                 if run > best {
                     best = run;
@@ -192,6 +196,22 @@ mod tests {
             }
         }
         assert!(snake_accepts <= gk_accepts);
+    }
+
+    #[test]
+    fn huge_threshold_terminates() {
+        // Regression: the diagonal sweep used to iterate the raw `-e..=e` range,
+        // which at e = u32::MAX is ~8.6 billion no-op diagonals per column.
+        let a: Vec<u8> = (0..101).map(|i| b"ACGT"[i % 4]).collect();
+        let b: Vec<u8> = (0..97).map(|i| b"ACGT"[(i + 1) % 4]).collect();
+        let d = SneakySnakeFilter::new(u32::MAX).filter_pair(&a, &b);
+        assert!(d.accepted);
+        // The clamped band covers every reachable diagonal, so the count matches
+        // a band that is merely "large enough".
+        assert_eq!(
+            d.estimated_edits,
+            SneakySnakeFilter::count_obstacles(&a, &b, 150)
+        );
     }
 
     #[test]

@@ -72,9 +72,51 @@ pub fn shift_left_bases(words: &[u32], bases: usize) -> Vec<u32> {
     out
 }
 
+/// Packs the even-indexed bits of `x` (bits 0, 2, …, 30) into the low 16 bits.
+///
+/// Standard log-step bit compression: after each round the surviving bits sit
+/// twice as densely, so four rounds collapse the 2-bit base stride to 1 bit.
+#[inline]
+fn compress_even_u32(x: u32) -> u32 {
+    let x = x & 0x5555_5555;
+    let x = (x | (x >> 1)) & 0x3333_3333;
+    let x = (x | (x >> 2)) & 0x0F0F_0F0F;
+    let x = (x | (x >> 4)) & 0x00FF_00FF;
+    (x | (x >> 8)) & 0x0000_FFFF
+}
+
 /// XORs two packed word arrays and reduces each 2-bit base difference to a single
 /// mask bit (1 = mismatching base), truncated to `len` bases.
+///
+/// Word-parallel: each 16-base `u32` is reduced with an OR of its odd/even bit
+/// planes and a log-step compression instead of a per-base loop, then the 16-bit
+/// chunks are spliced straight into the mask's `u64` backing words. Shifted
+/// inputs may carry garbage beyond `len` bases; [`BaseMask::from_words`] clears
+/// that padding.
 pub fn xor_to_base_mask(a: &[u32], b: &[u32], len: usize) -> BaseMask {
+    let words = len.div_ceil(BASES_PER_WORD);
+    let mut bits = vec![0u64; len.div_ceil(64)];
+    for w in 0..words {
+        let xa = a.get(w).copied().unwrap_or(0);
+        let xb = b.get(w).copied().unwrap_or(0);
+        let diff = xa ^ xb;
+        if diff == 0 {
+            continue;
+        }
+        // OR the two bits of every base: bit pair (2s+1, 2s) → one per-base bit
+        // at even position 2·(15 − slot) (slot 0 is the MSB pair).
+        let per_base = ((diff >> 1) | diff) & 0x5555_5555;
+        // Compress even bits: bit j of `chunk` = base (15 − j); reverse to get
+        // bit s = base s, matching the mask's LSB-first bit order.
+        let chunk = u64::from((compress_even_u32(per_base) as u16).reverse_bits());
+        bits[w / 4] |= chunk << (16 * (w % 4));
+    }
+    BaseMask::from_words(bits, len)
+}
+
+/// Per-bit reference for [`xor_to_base_mask`]; kept as the scalar-equivalence
+/// oracle for the differential suite and the measured scalar baseline.
+pub fn xor_to_base_mask_reference(a: &[u32], b: &[u32], len: usize) -> BaseMask {
     let mut mask = BaseMask::zeros(len);
     let words = len.div_ceil(BASES_PER_WORD);
     for w in 0..words {
@@ -84,10 +126,9 @@ pub fn xor_to_base_mask(a: &[u32], b: &[u32], len: usize) -> BaseMask {
         if diff == 0 {
             continue;
         }
-        // OR the two bits of every base: bit pair (2s+1, 2s) → one per-base bit.
         let hi = (diff >> 1) & 0x5555_5555;
         let lo = diff & 0x5555_5555;
-        let per_base = hi | lo; // bit 2s set iff base s differs (counting from LSB)
+        let per_base = hi | lo;
         let base_count = (len - w * BASES_PER_WORD).min(BASES_PER_WORD);
         for slot in 0..base_count {
             // Base `slot` of this word sits at bit pair starting at MSB.

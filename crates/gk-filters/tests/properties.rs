@@ -6,12 +6,16 @@
 
 use gk_align::edit_distance;
 use gk_filters::bitvec::BaseMask;
-use gk_filters::words::{shift_left_bases, shift_right_bases, xor_to_base_mask};
+use gk_filters::gatekeeper::{gatekeeper_kernel, gatekeeper_kernel_reference, GateKeeperConfig};
+use gk_filters::simd::{gatekeeper_filter_block_slices, SimdMode};
+use gk_filters::words::{
+    shift_left_bases, shift_right_bases, xor_to_base_mask, xor_to_base_mask_reference,
+};
 use gk_filters::{
     GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
     ShoujiFilter, SneakySnakeFilter,
 };
-use gk_seq::pairs::SequencePair;
+use gk_seq::pairs::{SequencePair, SoaGroup};
 use gk_seq::PackedSeq;
 use proptest::prelude::*;
 use rayon::slice::ParallelSlice;
@@ -376,5 +380,250 @@ proptest! {
     fn magnet_estimate_is_bounded_by_length((read, reference) in edited_pair(48, 12), e in 1u32..=48) {
         let decision = MagnetFilter::new(e).filter_pair(&read, &reference);
         prop_assert!(decision.estimated_edits <= 48);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD layer: widened word-parallel primitives vs. their per-bit references,
+// with mask lengths deliberately pinned to the word-boundary edge cases
+// (len == 0 and len % 64 == 0 included).
+// ---------------------------------------------------------------------------
+
+/// Boundary-heavy mask lengths: empty, word-exact multiples, and neighbors.
+fn mask_len() -> impl Strategy<Value = usize> {
+    proptest::sample::select(vec![
+        0usize, 1, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129, 191, 192, 200,
+    ])
+}
+
+/// Raw backing words for a mask; `BaseMask::from_words` resizes and clears
+/// the padding, so over- and under-length inputs are both fair game.
+fn mask_words() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=u64::MAX, 0..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `from_words` normalizes any raw buffer: exact word count for the length,
+    /// every bit beyond `len` cleared — including at len == 0 and len % 64 == 0,
+    /// where the padding mask degenerates.
+    #[test]
+    fn from_words_clears_dirty_padding(words in mask_words(), len in mask_len()) {
+        let mask = BaseMask::from_words(words, len);
+        prop_assert_eq!(mask.len(), len);
+        prop_assert_eq!(mask.words().len(), len.div_ceil(64));
+        let popcount: u32 = mask.words().iter().map(|w| w.count_ones()).sum();
+        prop_assert_eq!(popcount, mask.count_ones());
+        if len % 64 != 0 {
+            let last = *mask.words().last().unwrap();
+            prop_assert_eq!(last >> (len % 64), 0u64, "padding bits survived at len = {}", len);
+        }
+    }
+
+    /// `ones` fills exactly `len` bits and counts as a single run (or zero runs
+    /// for the empty mask), via both the widened and the per-bit counters.
+    #[test]
+    fn ones_is_exact_at_boundary_lengths(len in mask_len()) {
+        let mask = BaseMask::ones(len);
+        prop_assert_eq!(mask.count_ones() as usize, len);
+        prop_assert_eq!(mask.count_runs(), u32::from(len > 0));
+        prop_assert_eq!(mask.count_runs(), mask.count_runs_reference());
+        prop_assert_eq!(mask.count_edits_windowed(3), mask.count_edits_windowed_reference(3));
+    }
+
+    /// Widened `set_range` equals the per-bit reference for every sub-range,
+    /// including empty ranges and ranges ending exactly on word boundaries.
+    #[test]
+    fn set_range_matches_reference(
+        words in mask_words(),
+        len in mask_len(),
+        s in 0usize..=200,
+        t in 0usize..=200,
+    ) {
+        let mut wide = BaseMask::from_words(words, len);
+        let mut narrow = wide.clone();
+        let start = s.min(len);
+        let end = t.clamp(start, len);
+        wide.set_range(start, end);
+        narrow.set_range_reference(start, end);
+        prop_assert_eq!(wide.words(), narrow.words(), "range {}..{} at len {}", start, end, len);
+    }
+
+    /// Widened run counting and windowed edit counting equal their per-bit
+    /// references for arbitrary bit patterns and window widths (including
+    /// windows wider than a word).
+    #[test]
+    fn counters_match_reference(words in mask_words(), len in mask_len(), window in 1usize..=130) {
+        let mask = BaseMask::from_words(words, len);
+        prop_assert_eq!(mask.count_runs(), mask.count_runs_reference());
+        prop_assert_eq!(
+            mask.count_edits_windowed(window),
+            mask.count_edits_windowed_reference(window)
+        );
+    }
+
+    /// The morphological-closing amendment equals the per-bit run rewrite for
+    /// any `max_run`, including 0, runs straddling word boundaries, and widths
+    /// beyond one word (the delegation path).
+    #[test]
+    fn amend_matches_reference(words in mask_words(), len in mask_len(), max_run in 0usize..=130) {
+        let mut wide = BaseMask::from_words(words, len);
+        let mut narrow = wide.clone();
+        wide.amend_short_zero_runs(max_run);
+        narrow.amend_short_zero_runs_reference(max_run);
+        prop_assert_eq!(wide.words(), narrow.words(), "max_run {} at len {}", max_run, len);
+    }
+
+    /// The log-step XOR-reduce equals the per-bit reference for arbitrary word
+    /// arrays and lengths, including lengths past the arrays (missing words act
+    /// as all-`A`, exactly like shifted-in padding).
+    #[test]
+    fn xor_reduce_matches_reference(
+        a in proptest::collection::vec(0u32..=u32::MAX, 0..16),
+        b in proptest::collection::vec(0u32..=u32::MAX, 0..16),
+        len in 0usize..=224,
+    ) {
+        let wide = xor_to_base_mask(&a, &b, len);
+        let narrow = xor_to_base_mask_reference(&a, &b, len);
+        prop_assert_eq!(wide.len(), narrow.len());
+        prop_assert_eq!(wide.words(), narrow.words());
+    }
+
+    /// The full widened kernel agrees with the per-bit reference kernel on
+    /// bounded-edit pairs, for both boundary-handling variants.
+    #[test]
+    fn widened_kernel_matches_reference_on_edited_pairs(
+        (read, reference) in edited_pair(100, 10),
+        e in 0u32..=12,
+    ) {
+        let r = PackedSeq::from_ascii(&read);
+        let f = PackedSeq::from_ascii(&reference);
+        for config in [GateKeeperConfig::gpu(e), GateKeeperConfig::fpga(e)] {
+            let wide = gatekeeper_kernel(&r, &f, &config);
+            let narrow = gatekeeper_kernel_reference(&r, &f, &config);
+            prop_assert_eq!(wide, narrow, "e = {}", e);
+        }
+    }
+
+    /// The same agreement on unrelated ragged pairs (read and reference lengths
+    /// independent, including empty and word-exact), with thresholds from 0 to
+    /// far past the read length.
+    #[test]
+    fn widened_kernel_matches_reference_on_ragged_pairs(
+        read in dna(200),
+        reference in dna(200),
+        read_len in proptest::sample::select(vec![0usize, 1, 31, 32, 33, 64, 100, 128, 200]),
+        ref_len in proptest::sample::select(vec![0usize, 1, 31, 32, 33, 64, 100, 128, 200]),
+        e in proptest::sample::select(vec![0u32, 1, 2, 5, 63, 64, 65, 1000]),
+    ) {
+        let r = PackedSeq::from_ascii(&read[..read_len]);
+        let f = PackedSeq::from_ascii(&reference[..ref_len]);
+        for config in [GateKeeperConfig::gpu(e), GateKeeperConfig::fpga(e)] {
+            let wide = gatekeeper_kernel(&r, &f, &config);
+            let narrow = gatekeeper_kernel_reference(&r, &f, &config);
+            prop_assert_eq!(wide, narrow, "lens {}/{}, e = {}", read_len, ref_len, e);
+        }
+    }
+
+    /// End to end: the lane block driver and the all-scalar block driver hand
+    /// back identical decision vectors over mixed batches — ragged lengths,
+    /// word-exact lengths, undefined (`N`) pairs, empty pairs.
+    #[test]
+    fn lane_block_driver_matches_scalar_block_driver(
+        raw in proptest::collection::vec(
+            (dna(96), dna(96), 0usize..=96, 0usize..=96, 0u8..=4),
+            0..24,
+        ),
+        e in 0u32..=8,
+    ) {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = raw
+            .into_iter()
+            .map(|(a, b, la, lb, tag)| {
+                let mut read = a[..la].to_vec();
+                let reference = b[..lb].to_vec();
+                if tag == 0 && !read.is_empty() {
+                    let mid = read.len() / 2;
+                    read[mid] = b'N';
+                }
+                (read, reference)
+            })
+            .collect();
+        let slices: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(r, f)| (r.as_slice(), f.as_slice()))
+            .collect();
+        for config in [GateKeeperConfig::gpu(e), GateKeeperConfig::fpga(e)] {
+            let lanes = gatekeeper_filter_block_slices(&slices, &config, SimdMode::Lanes);
+            let scalar = gatekeeper_filter_block_slices(&slices, &config, SimdMode::Scalar);
+            prop_assert_eq!(lanes, scalar, "e = {}", e);
+        }
+    }
+
+    /// Both struct-of-arrays encode paths — straight from ASCII and transposed
+    /// from packed `u32` words — lay every base out at the same LSB-first lane
+    /// position, each under its own 2-bit coding (the codings differ on G/T,
+    /// which XOR cannot see), with clean zeros beyond `len` and in the spare row.
+    #[test]
+    fn soa_encode_paths_lay_out_every_base_identically(
+        pairs in proptest::collection::vec((dna(96), dna(96)), 1..=4),
+        len in 1usize..=96,
+    ) {
+        let cut: Vec<(Vec<u8>, Vec<u8>)> = pairs
+            .iter()
+            .map(|(r, f)| (r[..len].to_vec(), f[..len].to_vec()))
+            .collect();
+        let slices: Vec<(&[u8], &[u8])> = cut
+            .iter()
+            .map(|(r, f)| (r.as_slice(), f.as_slice()))
+            .collect();
+        let from_ascii = SoaGroup::encode_slices(&slices).expect("eligible group");
+        let packed: Vec<(PackedSeq, PackedSeq)> = cut
+            .iter()
+            .map(|(r, f)| (PackedSeq::from_ascii(r), PackedSeq::from_ascii(f)))
+            .collect();
+        let refs: Vec<(&PackedSeq, &PackedSeq)> = packed.iter().map(|(r, f)| (r, f)).collect();
+        let from_packed = SoaGroup::from_packed(&refs).expect("eligible group");
+
+        prop_assert_eq!(from_ascii.len, len);
+        prop_assert_eq!(from_packed.len, len);
+        prop_assert_eq!(from_ascii.lanes, cut.len());
+        prop_assert_eq!(from_packed.lanes, cut.len());
+
+        let code_at = |rows: &[[u64; 4]], lane: usize, i: usize| -> u64 {
+            (rows[i / 32][lane] >> (2 * (i % 32))) & 3
+        };
+        for (lane, (read, reference)) in cut.iter().enumerate() {
+            for i in 0..len {
+                // ASCII fast path: (byte >> 1) & 3.
+                prop_assert_eq!(
+                    code_at(&from_ascii.read_words, lane, i),
+                    u64::from((read[i] >> 1) & 3)
+                );
+                prop_assert_eq!(
+                    code_at(&from_ascii.ref_words, lane, i),
+                    u64::from((reference[i] >> 1) & 3)
+                );
+                // Packed path: the paper's A=00, C=01, G=10, T=11 coding.
+                prop_assert_eq!(
+                    code_at(&from_packed.read_words, lane, i),
+                    u64::from(gk_seq::Base::from_ascii(read[i]).code().unwrap())
+                );
+                prop_assert_eq!(
+                    code_at(&from_packed.ref_words, lane, i),
+                    u64::from(gk_seq::Base::from_ascii(reference[i]).code().unwrap())
+                );
+            }
+        }
+        // Bases past `len` and the spare row must be zero in both layouts.
+        for group in [&from_ascii, &from_packed] {
+            for rows in [&group.read_words, &group.ref_words] {
+                for lane in 0..group.lanes {
+                    for i in len..rows.len() * 32 {
+                        prop_assert_eq!(code_at(rows, lane, i), 0u64, "dirt at base {}", i);
+                    }
+                }
+            }
+        }
     }
 }

@@ -124,6 +124,17 @@ pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
     seq.iter().rev().map(|&b| complement(b)).collect()
 }
 
+/// Uppercases an ASCII sequence in place.
+///
+/// Reference genomes ship soft-masked repeats as lowercase bases. The packed
+/// 2-bit encoders fold case, but the raw-ASCII filter paths compare bytes
+/// directly, where `b'a' != b'A'` would silently score a soft-masked base as a
+/// mismatch — so the parsers normalize at read time instead.
+#[inline]
+pub fn normalize_sequence(seq: &mut [u8]) {
+    seq.make_ascii_uppercase();
+}
+
 /// Counts the `N` (or otherwise undefined) bases in an ASCII sequence.
 pub fn count_undefined(seq: &[u8]) -> usize {
     seq.iter().filter(|&&b| !is_valid_base(b)).count()

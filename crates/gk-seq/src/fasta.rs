@@ -2,8 +2,11 @@
 //!
 //! The whole-genome experiments load a reference genome (GRCh37 in the paper) from
 //! FASTA. This module keeps the format support intentionally small and allocation
-//! friendly: multi-record files, arbitrary line wrapping, `>`-prefixed headers with
-//! an optional description, and nothing else.
+//! friendly: multi-record files, arbitrary line wrapping (including CRLF line
+//! endings), `>`-prefixed headers with an optional description, and nothing else.
+//! Soft-masked (lowercase) bases are uppercased at parse time so the raw-ASCII
+//! filter paths, which compare bytes directly, score them like their uppercase
+//! forms.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -111,9 +114,12 @@ pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
             });
         } else {
             match current.as_mut() {
-                Some(rec) => rec
-                    .sequence
-                    .extend(trimmed.bytes().filter(|b| !b.is_ascii_whitespace())),
+                Some(rec) => rec.sequence.extend(
+                    trimmed
+                        .bytes()
+                        .filter(|b| !b.is_ascii_whitespace())
+                        .map(|b| b.to_ascii_uppercase()),
+                ),
                 None => return Err(FastaError::MissingHeader { line: line_no }),
             }
         }
@@ -171,6 +177,25 @@ mod tests {
         assert_eq!(records[1].id, "chr2");
         assert_eq!(records[1].description, None);
         assert_eq!(records[1].sequence, b"TTTT".to_vec());
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let unix = b">chr1 test chromosome\nACGTACGT\nACGT\n>chr2\nTTTT\n";
+        let dos = b">chr1 test chromosome\r\nACGTACGT\r\nACGT\r\n>chr2\r\nTTTT\r\n";
+        assert_eq!(
+            read_fasta(&unix[..]).unwrap(),
+            read_fasta(&dos[..]).unwrap()
+        );
+    }
+
+    #[test]
+    fn soft_masked_lowercase_bases_are_uppercased() {
+        // Soft-masked references mark repeats in lowercase; byte-comparing
+        // filters must see the canonical uppercase form.
+        let data = b">chr1\nacgtACGT\nnNtt\n";
+        let records = read_fasta(&data[..]).unwrap();
+        assert_eq!(records[0].sequence, b"ACGTACGTNNTT".to_vec());
     }
 
     #[test]

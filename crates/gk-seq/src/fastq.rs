@@ -3,6 +3,9 @@
 //! Short reads (the `ERR…`/`SRR…` sets of the paper) arrive as FASTQ. Only the
 //! strict 4-line record layout is supported (`@header`, sequence, `+`, quality) —
 //! the layout emitted by Illumina pipelines and by this crate's read simulator.
+//! CRLF line endings are accepted, and soft-masked (lowercase) bases are
+//! uppercased at parse time so the raw-ASCII filter paths, which compare bytes
+//! directly, score them like their uppercase forms.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -149,10 +152,11 @@ pub fn read_fastq<R: Read>(reader: R) -> Result<Vec<FastqRecord>, FastqError> {
             .unwrap_or("")
             .to_string();
 
-        let sequence = match lines.next() {
+        let mut sequence = match lines.next() {
             Some((_, line)) => line?.trim_end().as_bytes().to_vec(),
             None => return Err(FastqError::TruncatedRecord { id: Some(id) }),
         };
+        crate::alphabet::normalize_sequence(&mut sequence);
         let (sep_idx, separator) = match lines.next() {
             Some((idx, line)) => (idx, line?),
             None => return Err(FastqError::TruncatedRecord { id: Some(id) }),
@@ -221,6 +225,23 @@ mod tests {
         assert_eq!(records[0].id, "r1");
         assert_eq!(records[0].sequence, b"ACGT".to_vec());
         assert_eq!(records[1].quality, b"!!!!".to_vec());
+    }
+
+    #[test]
+    fn crlf_line_endings_parse_like_lf() {
+        let unix = b"@r1 extra\nACGT\n+\nIIII\n@r2\nTTTT\n+\n!!!!\n";
+        let dos = b"@r1 extra\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTTT\r\n+\r\n!!!!\r\n";
+        assert_eq!(
+            read_fastq(&unix[..]).unwrap(),
+            read_fastq(&dos[..]).unwrap()
+        );
+    }
+
+    #[test]
+    fn soft_masked_lowercase_bases_are_uppercased() {
+        let data = b"@r1\nacgtn\n+\nIIIII\n";
+        let records = read_fastq(&data[..]).unwrap();
+        assert_eq!(records[0].sequence, b"ACGTN".to_vec());
     }
 
     #[test]

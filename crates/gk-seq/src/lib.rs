@@ -45,7 +45,7 @@ pub mod reference;
 pub mod simulate;
 pub mod stream;
 
-pub use alphabet::{complement, decode_base, encode_base, is_valid_base, Base};
+pub use alphabet::{complement, decode_base, encode_base, is_valid_base, normalize_sequence, Base};
 pub use packed::PackedSeq;
 pub use pairs::{encode_pair_batch, PairSet, SequencePair};
 pub use raw::{RawPairBatch, RawPairBatches, RawPairSlice};

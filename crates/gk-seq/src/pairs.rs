@@ -11,6 +11,13 @@ use crate::alphabet::has_undefined;
 use crate::packed::PackedSeq;
 use serde::{Deserialize, Serialize};
 
+/// Number of sequences processed lane-parallel by one struct-of-arrays group
+/// (four 64-bit lanes = one 256-bit SIMD-style vector).
+pub const SOA_LANES: usize = 4;
+
+/// Bases carried per 64-bit word in the struct-of-arrays layout (2 bits/base).
+pub const SOA_BASES_PER_WORD: usize = 32;
+
 /// A read and the candidate reference segment it may align to.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SequencePair {
@@ -109,6 +116,161 @@ impl PairSet {
         let refs = self.pairs.iter().map(|p| p.reference.as_slice()).collect();
         (reads, refs)
     }
+}
+
+/// Struct-of-arrays transpose of up to [`SOA_LANES`] equal-length, fully
+/// defined (ACGT-only) pairs, laid out for lane-parallel filtering.
+///
+/// Row `w` holds the `w`-th 2-bit word of **every** lane's sequence:
+/// `read_words[w][lane]` is word `w` of read `lane`. Within a word the layout
+/// is LSB-first — base `i` of a sequence sits at bit pair `2·(i % 32)` of word
+/// `i / 32` — so a shift of the sequence towards higher base positions is a
+/// plain left shift of the bit string, lane-wise, with carry between rows.
+///
+/// The 2-bit code is derived directly from ASCII as `(byte >> 1) & 3`
+/// (`A=00, C=01, T=10, G=11`, case-insensitive). This differs from the
+/// [`PackedSeq`] code assignment, but any injective recoding of `ACGT`
+/// preserves the per-base mismatch structure — and both codings encode `A`
+/// as `00`, so the zeros vacated by shifts compare exactly like the `A`s
+/// vacated in the word-at-a-time path. Filter decisions are therefore
+/// byte-identical to the [`PackedSeq`] pipeline.
+///
+/// One spare all-zero row is kept past the last sequence word, and all bits
+/// beyond `2·len` are zero: the lane kernels rely on clean padding for their
+/// carry-propagating shifts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoaGroup {
+    /// Uniform sequence length (bases) of every lane, > 0.
+    pub len: usize,
+    /// Number of active lanes (1..=[`SOA_LANES`]); results of inactive lanes
+    /// are meaningless and must be ignored.
+    pub lanes: usize,
+    /// SoA read words: `len.div_ceil(32) + 1` rows (last row is the zero spare).
+    pub read_words: Vec<[u64; SOA_LANES]>,
+    /// SoA reference words, same shape as `read_words`.
+    pub ref_words: Vec<[u64; SOA_LANES]>,
+}
+
+impl SoaGroup {
+    /// Transposes up to [`SOA_LANES`] pairs into the lane layout.
+    ///
+    /// Returns `None` when the group is not lane-eligible: empty, more pairs
+    /// than lanes, any sequence length differing from the first read's, a zero
+    /// length, or any base outside `ACGT`/`acgt` (undefined pairs keep their
+    /// scalar undefined-pass handling).
+    pub fn encode(pairs: &[&SequencePair]) -> Option<SoaGroup> {
+        let slices: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|p| (p.read.as_slice(), p.reference.as_slice()))
+            .collect();
+        SoaGroup::encode_slices(&slices)
+    }
+
+    /// [`SoaGroup::encode`] over raw ASCII `(read, reference)` slices.
+    pub fn encode_slices(pairs: &[(&[u8], &[u8])]) -> Option<SoaGroup> {
+        let lanes = pairs.len();
+        if lanes == 0 || lanes > SOA_LANES {
+            return None;
+        }
+        let len = pairs[0].0.len();
+        if len == 0 {
+            return None;
+        }
+        for (read, reference) in pairs {
+            if read.len() != len || reference.len() != len {
+                return None;
+            }
+            if has_undefined(read) || has_undefined(reference) {
+                return None;
+            }
+        }
+        let rows = len.div_ceil(SOA_BASES_PER_WORD) + 1;
+        let mut read_words = vec![[0u64; SOA_LANES]; rows];
+        let mut ref_words = vec![[0u64; SOA_LANES]; rows];
+        for (lane, (read, reference)) in pairs.iter().enumerate() {
+            pack_ascii_lane(read, lane, &mut read_words);
+            pack_ascii_lane(reference, lane, &mut ref_words);
+        }
+        Some(SoaGroup {
+            len,
+            lanes,
+            read_words,
+            ref_words,
+        })
+    }
+
+    /// Transposes up to [`SOA_LANES`] already-packed pairs into the lane
+    /// layout, reversing each `u32`'s MSB-first 2-bit fields into the
+    /// LSB-first lane order. Eligibility mirrors [`SoaGroup::encode`]:
+    /// uniform nonzero length and no undefined sequences.
+    pub fn from_packed(pairs: &[(&PackedSeq, &PackedSeq)]) -> Option<SoaGroup> {
+        let lanes = pairs.len();
+        if lanes == 0 || lanes > SOA_LANES {
+            return None;
+        }
+        let len = pairs[0].0.len();
+        if len == 0 {
+            return None;
+        }
+        for (read, reference) in pairs {
+            if read.len() != len || reference.len() != len {
+                return None;
+            }
+            if read.is_undefined() || reference.is_undefined() {
+                return None;
+            }
+        }
+        let rows = len.div_ceil(SOA_BASES_PER_WORD) + 1;
+        let mut read_words = vec![[0u64; SOA_LANES]; rows];
+        let mut ref_words = vec![[0u64; SOA_LANES]; rows];
+        for (lane, (read, reference)) in pairs.iter().enumerate() {
+            pack_words_lane(read.words(), lane, &mut read_words);
+            pack_words_lane(reference.words(), lane, &mut ref_words);
+        }
+        Some(SoaGroup {
+            len,
+            lanes,
+            read_words,
+            ref_words,
+        })
+    }
+
+    /// Number of meaningful (non-spare) 64-bit words per sequence.
+    pub fn words_per_sequence(&self) -> usize {
+        self.len.div_ceil(SOA_BASES_PER_WORD)
+    }
+}
+
+/// Packs one ASCII sequence into lane `lane` of the SoA rows.
+fn pack_ascii_lane(seq: &[u8], lane: usize, rows: &mut [[u64; SOA_LANES]]) {
+    for (row, chunk) in seq.chunks(SOA_BASES_PER_WORD).enumerate() {
+        let mut word = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            word |= u64::from((b >> 1) & 3) << (2 * i);
+        }
+        rows[row][lane] = word;
+    }
+}
+
+/// Packs one [`PackedSeq`] word array into lane `lane` of the SoA rows: each
+/// MSB-first `u32` (16 bases) has its 2-bit fields order-reversed, and two
+/// reversed `u32`s form one LSB-first `u64` row entry.
+fn pack_words_lane(words: &[u32], lane: usize, rows: &mut [[u64; SOA_LANES]]) {
+    for (w, &word) in words.iter().enumerate() {
+        let reversed = u64::from(reverse_base_fields(word));
+        rows[w / 2][lane] |= reversed << (32 * (w % 2));
+    }
+}
+
+/// Reverses the order of the sixteen 2-bit fields of a `u32` (base slot `s`
+/// moves from bit pair `(15 − s)·2` to bit pair `s·2`) without altering the
+/// bits inside each field.
+#[inline]
+fn reverse_base_fields(v: u32) -> u32 {
+    let v = ((v >> 2) & 0x3333_3333) | ((v & 0x3333_3333) << 2);
+    let v = ((v >> 4) & 0x0F0F_0F0F) | ((v & 0x0F0F_0F0F) << 4);
+    let v = ((v >> 8) & 0x00FF_00FF) | ((v & 0x00FF_00FF) << 8);
+    v.rotate_left(16)
 }
 
 /// Packs every pair into the 2-bit device representation, fanning the batch

@@ -82,6 +82,52 @@ fn cpu_filter_baseline_is_identical_to_sequential() {
 }
 
 #[test]
+fn simd_lanes_and_scalar_fallback_are_byte_identical_end_to_end() {
+    // The SIMD tentpole's contract: the lane-parallel block path and the
+    // per-bit scalar reference may differ only in throughput. Decisions must be
+    // byte-identical through every wired surface — the multicore CPU baseline
+    // at several thread counts, and the full simulated GPU system on both the
+    // host-encode and device-encode paths.
+    use gatekeeper_gpu::filters::SimdMode;
+    for seed in SEEDS {
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.05;
+        let pairs = profile.generate(1_200, seed);
+        for threshold in [0u32, 4] {
+            let scalar = GateKeeperCpu::new(threshold, 1)
+                .with_simd_mode(SimdMode::Scalar)
+                .filter_set(&pairs);
+            for threads in [1usize, 4] {
+                let lanes = GateKeeperCpu::new(threshold, threads)
+                    .with_simd_mode(SimdMode::Lanes)
+                    .filter_set(&pairs);
+                assert_eq!(
+                    lanes.decisions, scalar.decisions,
+                    "seed {seed}, e = {threshold}, threads {threads}"
+                );
+            }
+            for device_encode in [false, true] {
+                let base = FilterConfig::new(100, threshold)
+                    .with_chunk_pairs(333)
+                    .with_overlap(true)
+                    .with_device_encode(device_encode);
+                let lanes =
+                    GateKeeperGpu::with_default_device(base.with_simd_mode(SimdMode::Lanes))
+                        .filter_set(&pairs);
+                let scalar_gpu =
+                    GateKeeperGpu::with_default_device(base.with_simd_mode(SimdMode::Scalar))
+                        .filter_set(&pairs);
+                assert_eq!(
+                    lanes.decisions, scalar_gpu.decisions,
+                    "seed {seed}, e = {threshold}, device_encode {device_encode}"
+                );
+                assert_eq!(lanes.accepted(), scalar_gpu.accepted());
+            }
+        }
+    }
+}
+
+#[test]
 fn accuracy_sweep_is_identical_to_sequential() {
     for seed in SEEDS {
         let mut profile = DatasetProfile::low_edit(100);
