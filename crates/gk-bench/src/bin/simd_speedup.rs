@@ -1,50 +1,36 @@
 //! SIMD-vs-scalar CPU throughput comparison — the acceptance harness of the
 //! lane-parallel filter kernels.
 //!
-//! Runs the Table 2 GateKeeper-CPU row (100 bp, e = 4) twice per core count:
+//! Runs the Table 2 CPU row (100 bp, e = 4) twice per core count for **all
+//! four** lane-parallel filters — GateKeeper, MAGNET, Shouji, SneakySnake —
 //! once on the lane-parallel SIMD path (`SimdMode::Lanes`, blocks of pairs
 //! transposed into the struct-of-arrays layout and filtered four lanes at a
-//! time) and once on the per-bit scalar reference (`SimdMode::Scalar`, the
-//! historical baseline). The run **hard-asserts** that the two decision
-//! streams are FNV-digest-identical and that the lane path clears the 4x
-//! end-to-end speedup bar on the single-core row, then prints a Markdown
-//! comparison table between `<!-- simd-vs-scalar:begin/end -->` markers so CI
-//! can lift it straight into the job summary.
+//! time) and once on the scalar reference (`SimdMode::Scalar`, the per-bit /
+//! per-byte historical baselines). Each filter's run **hard-asserts** that the
+//! two decision streams are FNV-digest-identical and that the lane path clears
+//! the 4x end-to-end speedup bar on the single-core row, then prints a
+//! Markdown comparison table between `<!-- simd-vs-scalar:begin/end -->`
+//! markers so CI can lift it straight into the job summary.
+//!
+//! The three non-GateKeeper filters run on a quarter-size set: their scalar
+//! baselines walk bases one at a time (MAGNET's differential leg runs per-bit
+//! reference primitives), so a full-size scalar leg would dominate the bench's
+//! wall clock without sharpening the comparison.
 //!
 //! Usage: `cargo run --release -p gk-bench --bin simd_speedup
 //!         [--pairs N] [--full] [--help]`
+
+use std::time::Instant;
 
 use gk_bench::datasets::throughput_set;
 use gk_bench::runner::{shared_pool, speedup, ThroughputPoint};
 use gk_bench::table::fmt;
 use gk_bench::{HarnessArgs, SETUP1};
 use gk_core::cpu::GateKeeperCpu;
-use gk_filters::SimdMode;
+use gk_filters::{
+    decision_digest, MagnetFilter, PreAlignmentFilter, ShoujiFilter, SimdMode, SneakySnakeFilter,
+};
 use gk_seq::pairs::PairSet;
-
-/// Order-sensitive FNV-1a-style digest of a decision stream (same construction
-/// as `streaming_scale`), so the two modes compare byte-for-byte.
-#[derive(Clone, Copy)]
-struct DecisionDigest(u64);
-
-impl Default for DecisionDigest {
-    fn default() -> DecisionDigest {
-        DecisionDigest(0xcbf2_9ce4_8422_2325) // FNV-1a offset basis
-    }
-}
-
-impl DecisionDigest {
-    fn update(&mut self, decisions: &[gk_filters::FilterDecision]) {
-        let mut h = self.0;
-        for d in decisions {
-            let word = (u64::from(d.estimated_edits) << 2)
-                | (u64::from(d.accepted) << 1)
-                | u64::from(d.undefined);
-            h = (h ^ word).wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        self.0 = h;
-    }
-}
 
 struct ModeRun {
     point: ThroughputPoint,
@@ -52,24 +38,42 @@ struct ModeRun {
     accepted: usize,
 }
 
-fn measure(set: &PairSet, threshold: u32, cores: usize, mode: SimdMode) -> ModeRun {
+/// GateKeeper leg: the full CPU baseline with its kernel/filter timing split.
+fn measure_gatekeeper(set: &PairSet, threshold: u32, cores: usize, mode: SimdMode) -> ModeRun {
     let run = GateKeeperCpu::with_pool(threshold, cores, shared_pool(cores))
         .with_simd_mode(mode)
         .filter_set(set);
-    let mut digest = DecisionDigest::default();
-    digest.update(&run.decisions);
     ModeRun {
         point: ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds),
-        digest: digest.0,
+        digest: decision_digest(&run.decisions),
         accepted: run.accepted(),
     }
 }
 
-fn summary_row(cores: usize, mode: &str, run: &ModeRun, speedup_col: Option<f64>) -> String {
+/// Generic leg for the widened filters: wall-clock the batch surface on the
+/// shared pool. These paths have no host/kernel split, so kernel time equals
+/// filter time.
+fn measure_filter(filter: &dyn PreAlignmentFilter, set: &PairSet, cores: usize) -> ModeRun {
+    let start = Instant::now();
+    let decisions = shared_pool(cores).install(|| filter.filter_batch(&set.pairs));
+    let seconds = start.elapsed().as_secs_f64();
+    ModeRun {
+        point: ThroughputPoint::new(set.len(), seconds, seconds),
+        digest: decision_digest(&decisions),
+        accepted: decisions.iter().filter(|d| d.accepted).count(),
+    }
+}
+
+fn summary_row(
+    filter: &str,
+    cores: usize,
+    mode: &str,
+    run: &ModeRun,
+    speedup_col: Option<f64>,
+) -> String {
     format!(
-        "| {cores} | {mode} | `{:#018x}` | {} | {} | {} | {} |",
+        "| {filter} | {cores} | {mode} | `{:#018x}` | {} | {} | {} |",
         run.digest,
-        fmt(run.point.kernel_seconds, 4),
         fmt(run.point.filter_seconds, 4),
         fmt(run.point.filter_mps, 2),
         speedup_col
@@ -78,86 +82,126 @@ fn summary_row(cores: usize, mode: &str, run: &ModeRun, speedup_col: Option<f64>
     )
 }
 
+fn report_pair(
+    name: &str,
+    cores: usize,
+    scalar: &ModeRun,
+    lanes: &ModeRun,
+    rows: &mut Vec<String>,
+) -> f64 {
+    assert_eq!(
+        lanes.digest, scalar.digest,
+        "{name}: decision streams diverged between SIMD modes at {cores} cores — lane-kernel bug"
+    );
+    assert_eq!(lanes.accepted, scalar.accepted, "{name}");
+
+    let end_to_end = speedup(scalar.point.filter_seconds, lanes.point.filter_seconds);
+    println!("--- {name}, {cores} core(s) ---");
+    println!(
+        "decisions    : byte-identical (digest {:#018x}, {} accepted)",
+        lanes.digest, lanes.accepted
+    );
+    println!(
+        "scalar       : filter {} s ({} Mpairs/s)",
+        fmt(scalar.point.filter_seconds, 4),
+        fmt(scalar.point.filter_mps, 2)
+    );
+    println!(
+        "lanes        : filter {} s ({} Mpairs/s)",
+        fmt(lanes.point.filter_seconds, 4),
+        fmt(lanes.point.filter_mps, 2)
+    );
+    println!(
+        "end-to-end   : {}x speedup (filter time)\n",
+        fmt(end_to_end, 2)
+    );
+    rows.push(summary_row(name, cores, "scalar", scalar, None));
+    rows.push(summary_row(name, cores, "lanes", lanes, Some(end_to_end)));
+    end_to_end
+}
+
 fn main() {
     let args = HarnessArgs::parse();
     let pairs = args.pairs(if args.full { 1_000_000 } else { 200_000 });
     let threshold = 4u32;
     let read_len = 100usize;
     let set = throughput_set(read_len, pairs);
+    let widened_pairs = (pairs / 4).max(1);
+    let widened_set = throughput_set(read_len, widened_pairs);
     let core_counts = [1usize, SETUP1.cpu_cores];
 
     println!(
-        "SIMD-vs-scalar GateKeeper-CPU comparison ({read_len} bp, e = {threshold}, {pairs} pairs)"
+        "SIMD-vs-scalar comparison across all four filters ({read_len} bp, e = {threshold}, \
+         {pairs} pairs for GateKeeper, {widened_pairs} for MAGNET/Shouji/SneakySnake)"
     );
-    println!("Lane path: 4-lane struct-of-arrays blocks over 64-bit words; scalar path: per-bit reference kernels.\n");
+    println!("Lane path: 4-lane struct-of-arrays blocks over 64-bit words; scalar path: per-bit / per-byte reference kernels.\n");
 
     // Throwaway warmup so neither measured mode pays first-touch costs
     // (worker spawn-up, allocator warm-up).
     for &cores in &core_counts {
-        let _ = measure(&set, threshold, cores, SimdMode::Lanes);
+        let _ = measure_gatekeeper(&set, threshold, cores, SimdMode::Lanes);
     }
 
     let mut rows = Vec::new();
-    let mut single_core_speedup = None;
+    // Single-core end-to-end speedups, one per filter — each must clear 4x.
+    let mut bars: Vec<(String, f64)> = Vec::new();
+
     for &cores in &core_counts {
-        let scalar = measure(&set, threshold, cores, SimdMode::Scalar);
-        let lanes = measure(&set, threshold, cores, SimdMode::Lanes);
-        assert_eq!(
-            lanes.digest, scalar.digest,
-            "decision streams diverged between SIMD modes at {cores} cores — lane-kernel bug"
-        );
-        assert_eq!(lanes.accepted, scalar.accepted);
-
-        let end_to_end = speedup(scalar.point.filter_seconds, lanes.point.filter_seconds);
+        let scalar = measure_gatekeeper(&set, threshold, cores, SimdMode::Scalar);
+        let lanes = measure_gatekeeper(&set, threshold, cores, SimdMode::Lanes);
+        let end_to_end = report_pair("GateKeeper", cores, &scalar, &lanes, &mut rows);
         if cores == 1 {
-            single_core_speedup = Some(end_to_end);
+            bars.push(("GateKeeper".to_string(), end_to_end));
         }
-        println!("--- {cores} core(s) ---");
-        println!(
-            "decisions    : byte-identical (digest {:#018x}, {} accepted)",
-            lanes.digest, lanes.accepted
-        );
-        println!(
-            "scalar       : kernel {} s, filter {} s ({} Mpairs/s)",
-            fmt(scalar.point.kernel_seconds, 4),
-            fmt(scalar.point.filter_seconds, 4),
-            fmt(scalar.point.filter_mps, 2)
-        );
-        println!(
-            "lanes        : kernel {} s (encode fused in), filter {} s ({} Mpairs/s)",
-            fmt(lanes.point.kernel_seconds, 4),
-            fmt(lanes.point.filter_seconds, 4),
-            fmt(lanes.point.filter_mps, 2)
-        );
-        println!(
-            "end-to-end   : {}x speedup (filter time)\n",
-            fmt(end_to_end, 2)
-        );
-
-        rows.push(summary_row(cores, "scalar", &scalar, None));
-        rows.push(summary_row(cores, "lanes", &lanes, Some(end_to_end)));
     }
 
-    let single = single_core_speedup.expect("single-core row always measured");
-    assert!(
-        single >= 4.0,
-        "lane path must clear the 4x end-to-end bar over the scalar baseline \
-         on the single-core row, measured {single:.2}x"
-    );
+    type Make = Box<dyn Fn(SimdMode) -> Box<dyn PreAlignmentFilter>>;
+    let widened: Vec<Make> = vec![
+        Box::new(move |m| Box::new(MagnetFilter::new(threshold).with_simd_mode(m))),
+        Box::new(move |m| Box::new(ShoujiFilter::new(threshold).with_simd_mode(m))),
+        Box::new(move |m| Box::new(SneakySnakeFilter::new(threshold).with_simd_mode(m))),
+    ];
+    for make in &widened {
+        let name = make(SimdMode::Lanes).name().to_string();
+        for &cores in &core_counts {
+            let scalar = measure_filter(make(SimdMode::Scalar).as_ref(), &widened_set, cores);
+            let lanes = measure_filter(make(SimdMode::Lanes).as_ref(), &widened_set, cores);
+            let end_to_end = report_pair(&name, cores, &scalar, &lanes, &mut rows);
+            if cores == 1 {
+                bars.push((name.clone(), end_to_end));
+            }
+        }
+    }
+
+    for (name, single) in &bars {
+        assert!(
+            *single >= 4.0,
+            "{name}: lane path must clear the 4x end-to-end bar over the scalar baseline \
+             on the single-core row, measured {single:.2}x"
+        );
+    }
 
     // Markdown block for the CI job summary (lifted verbatim by the workflow).
     println!("<!-- simd-vs-scalar:begin -->");
-    println!("### `simd_speedup` SIMD-vs-scalar comparison ({pairs} pairs, {read_len} bp, e = {threshold})");
+    println!(
+        "### `simd_speedup` SIMD-vs-scalar comparison ({read_len} bp, e = {threshold}, \
+         {pairs} pairs; widened filters on {widened_pairs})"
+    );
     println!();
-    println!("| cores | mode | decisions digest | kernel s | filter s | Mpairs/s | speedup |");
+    println!("| filter | cores | mode | decisions digest | filter s | Mpairs/s | speedup |");
     println!("|---|---|---|---|---|---|---|");
     for row in &rows {
         println!("{row}");
     }
     println!();
+    let bar_summary = bars
+        .iter()
+        .map(|(name, s)| format!("{name} **{}x**", fmt(*s, 2)))
+        .collect::<Vec<_>>()
+        .join(", ");
     println!(
-        "Decisions byte-identical across modes: **yes**; single-core end-to-end speedup **{}x** (bar: 4x).",
-        fmt(single, 2)
+        "Decisions byte-identical across modes for every filter: **yes**; \
+         single-core end-to-end speedups (bar: 4x each): {bar_summary}."
     );
     println!("<!-- simd-vs-scalar:end -->");
 }

@@ -93,16 +93,17 @@ impl GateKeeperCpu {
             threshold,
             threads: threads.max(1),
             kernel_config: GateKeeperConfig::gpu(threshold),
-            simd: SimdMode::Auto,
+            simd: SimdMode::Auto.resolve(),
             pool,
         }
     }
 
-    /// Selects the SIMD mode (lane-parallel blocks, per-bit scalar reference,
-    /// or environment-driven `Auto`, the default). Decisions are byte-identical
-    /// across modes; only throughput changes.
+    /// Selects the SIMD mode (lane-parallel blocks or per-bit scalar
+    /// reference; `Auto` consults `GK_SIMD` here, at construction — never on
+    /// the per-block hot path). Decisions are byte-identical across modes;
+    /// only throughput changes.
     pub fn with_simd_mode(mut self, simd: SimdMode) -> GateKeeperCpu {
-        self.simd = simd;
+        self.simd = simd.resolve();
         self
     }
 
@@ -116,8 +117,7 @@ impl GateKeeperCpu {
         self.threads
     }
 
-    /// The configured SIMD mode (unresolved; `Auto` consults `GK_SIMD` at run
-    /// time).
+    /// The resolved SIMD mode this instance filters with.
     pub fn simd_mode(&self) -> SimdMode {
         self.simd
     }
@@ -132,7 +132,7 @@ impl GateKeeperCpu {
     /// measured baseline the SIMD speedup is reported against. Decisions are
     /// byte-identical across modes and thread counts.
     pub fn filter_set(&self, pairs: &PairSet) -> CpuFilterRun {
-        if self.simd.use_lanes() {
+        if self.simd == SimdMode::Lanes {
             self.filter_set_lanes(pairs)
         } else {
             self.filter_set_scalar(pairs)

@@ -143,6 +143,9 @@ pub struct GateKeeperGpu {
     config: FilterConfig,
     system: SystemConfig,
     kernel_config: GateKeeperConfig,
+    /// `config.simd` resolved against `GK_SIMD` once, at construction — the
+    /// per-chunk device stage must not consult the environment.
+    simd: SimdMode,
 }
 
 impl GateKeeperGpu {
@@ -151,9 +154,10 @@ impl GateKeeperGpu {
         let system = SystemConfig::configure(&device, &config);
         GateKeeperGpu {
             device,
-            config,
             system,
             kernel_config: GateKeeperConfig::gpu(config.threshold),
+            simd: config.simd.resolve(),
+            config,
         }
     }
 
@@ -275,7 +279,7 @@ impl GateKeeperGpu {
         // device-encoded mode they run the fused kernel — pack the raw bases
         // they were handed, then filter — which is what makes the two paths
         // byte-identical: both end up filtering the same 2-bit sequences.
-        let use_lanes = self.config.simd.use_lanes();
+        let use_lanes = self.simd == SimdMode::Lanes;
         let decisions: Vec<FilterDecision> = match input {
             ChunkInput::Encoded(encoded) if use_lanes => encoded
                 .par_chunks(LANE_BLOCK_PAIRS)

@@ -81,6 +81,18 @@ impl AccuracyReport {
         }
     }
 
+    /// False reject rate: false rejects over ground-truth accepts (nonzero
+    /// only for MAGNET among the implemented filters). Reports 0 instead of a
+    /// NaN when the ground truth accepts nothing (empty dataset or a
+    /// uniformly divergent one).
+    pub fn false_reject_rate(&self) -> f64 {
+        if self.edlib_accepted == 0 {
+            0.0
+        } else {
+            self.false_rejects as f64 / self.edlib_accepted as f64
+        }
+    }
+
     /// Fraction of all pairs the filter removes from the verification workload.
     pub fn rejection_fraction(&self) -> f64 {
         if self.total_pairs == 0 {
@@ -313,5 +325,43 @@ mod tests {
         let pairs = small_set();
         let filter = GateKeeperGpuFilter::new(2);
         evaluate_with_truth(&filter, &pairs, &[1, 2, 3], UndefinedPolicy::Exclude);
+    }
+
+    /// Satellite regression: every rate must stay a finite number — never a
+    /// NaN that propagates into the accuracy tables — when a denominator is
+    /// zero.
+    #[test]
+    fn rates_are_finite_on_empty_denominators() {
+        // Fully empty dataset: every counter is zero.
+        let empty = PairSet {
+            name: "empty".to_string(),
+            read_len: 0,
+            pairs: Vec::new(),
+        };
+        let filter = GateKeeperGpuFilter::new(3);
+        let report = evaluate_filter(&filter, &empty, UndefinedPolicy::Exclude);
+        assert_eq!(report.total_pairs, 0);
+        for rate in [
+            report.false_accept_rate(),
+            report.false_reject_rate(),
+            report.true_reject_rate(),
+            report.rejection_fraction(),
+        ] {
+            assert!(rate.is_finite());
+            assert_eq!(rate, 0.0);
+        }
+
+        // Identical pairs at a generous threshold: the ground truth rejects
+        // nothing, so the reject-side denominators are zero.
+        let pairs = DatasetProfile::low_edit(60).generate(50, 3);
+        let report = evaluate_filter(
+            &GateKeeperGpuFilter::new(60),
+            &pairs,
+            UndefinedPolicy::Exclude,
+        );
+        assert_eq!(report.edlib_rejected, 0);
+        assert!(report.false_accept_rate().is_finite());
+        assert!(report.true_reject_rate().is_finite());
+        assert!(report.false_reject_rate().is_finite());
     }
 }

@@ -77,6 +77,158 @@ pub(crate) fn count_edits_windowed_in_words(words: &[u64], window: usize) -> u32
     edits
 }
 
+/// Longest run of consecutive 0 bits within `[start, end)` of LSB-first
+/// words; returns `(run_start, run_len)` or `None` if every bit is 1.
+///
+/// Word-parallel twin of the per-bit walk MAGNET's extraction loop was built
+/// on: runs of 1s are skipped with `trailing_ones`, zero runs are measured
+/// with `trailing_zeros`, whole-zero words are crossed in one step. The
+/// strict `>` comparison keeps the leftmost run on equal lengths, matching
+/// the reference bit for bit.
+pub fn longest_zero_run_in_words(
+    words: &[u64],
+    start: usize,
+    end: usize,
+) -> Option<(usize, usize)> {
+    let end = end.min(words.len() * WORD_BITS);
+    let mut best: Option<(usize, usize)> = None;
+    let mut i = start;
+    while i < end {
+        let chunk = words[i / WORD_BITS] >> (i % WORD_BITS);
+        let ones = chunk.trailing_ones() as usize;
+        if ones > 0 {
+            // Skip the streak of 1s (clipped to this word; the loop re-reads).
+            i += ones.min(WORD_BITS - i % WORD_BITS);
+            continue;
+        }
+        let run_start = i;
+        loop {
+            if i >= end {
+                break;
+            }
+            let chunk = words[i / WORD_BITS] >> (i % WORD_BITS);
+            if chunk == 0 {
+                i = (i / WORD_BITS + 1) * WORD_BITS;
+            } else {
+                i += chunk.trailing_zeros() as usize;
+                break;
+            }
+        }
+        let run_len = i.min(end) - run_start;
+        if best.map(|(_, l)| run_len > l).unwrap_or(true) {
+            best = Some((run_start, run_len));
+        }
+    }
+    best
+}
+
+/// Per-bit reference for [`longest_zero_run_in_words`].
+pub fn longest_zero_run_in_words_reference(
+    words: &[u64],
+    start: usize,
+    end: usize,
+) -> Option<(usize, usize)> {
+    let end = end.min(words.len() * WORD_BITS);
+    let get = |i: usize| words[i / WORD_BITS] >> (i % WORD_BITS) & 1 != 0;
+    let mut best: Option<(usize, usize)> = None;
+    let mut i = start;
+    while i < end {
+        if !get(i) {
+            let run_start = i;
+            while i < end && !get(i) {
+                i += 1;
+            }
+            let run_len = i - run_start;
+            if best.map(|(_, l)| run_len > l).unwrap_or(true) {
+                best = Some((run_start, run_len));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    best
+}
+
+/// Length of the run of consecutive 0 bits starting exactly at `pos`, bounded
+/// by `end` — equivalently, the distance from `pos` to the next 1 bit. The
+/// word-parallel step SneakySnake's traversal takes per diagonal probe.
+pub fn zero_run_length_in_words(words: &[u64], pos: usize, end: usize) -> usize {
+    let end = end.min(words.len() * WORD_BITS);
+    let mut i = pos;
+    while i < end {
+        let chunk = words[i / WORD_BITS] >> (i % WORD_BITS);
+        if chunk == 0 {
+            i = (i / WORD_BITS + 1) * WORD_BITS;
+        } else {
+            i += chunk.trailing_zeros() as usize;
+            break;
+        }
+    }
+    i.min(end) - pos.min(end)
+}
+
+/// Per-bit reference for [`zero_run_length_in_words`].
+pub fn zero_run_length_in_words_reference(words: &[u64], pos: usize, end: usize) -> usize {
+    let end = end.min(words.len() * WORD_BITS);
+    let mut i = pos;
+    while i < end && words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 0 {
+        i += 1;
+    }
+    i - pos.min(i)
+}
+
+/// Appends every maximal zero run within `[0, len)` of LSB-first words to
+/// `out`, in position order, as `(start, len)` pairs.
+///
+/// MAGNET's extraction loop re-queries overlapping sub-intervals of the same
+/// masks every round, so the kernel collects each mask's runs once with this
+/// word-parallel walk and answers the queries from the run list instead of
+/// re-walking mask bits.
+pub fn zero_runs_in_words(words: &[u64], len: usize, out: &mut Vec<(u32, u32)>) {
+    let end = len.min(words.len() * WORD_BITS);
+    let mut i = 0usize;
+    while i < end {
+        let chunk = words[i / WORD_BITS] >> (i % WORD_BITS);
+        let ones = chunk.trailing_ones() as usize;
+        if ones > 0 {
+            i += ones.min(WORD_BITS - i % WORD_BITS);
+            continue;
+        }
+        let run_start = i;
+        loop {
+            if i >= end {
+                break;
+            }
+            let chunk = words[i / WORD_BITS] >> (i % WORD_BITS);
+            if chunk == 0 {
+                i = (i / WORD_BITS + 1) * WORD_BITS;
+            } else {
+                i += chunk.trailing_zeros() as usize;
+                break;
+            }
+        }
+        out.push((run_start as u32, (i.min(end) - run_start) as u32));
+    }
+}
+
+/// Per-bit reference for [`zero_runs_in_words`].
+pub fn zero_runs_in_words_reference(words: &[u64], len: usize, out: &mut Vec<(u32, u32)>) {
+    let end = len.min(words.len() * WORD_BITS);
+    let get = |i: usize| words[i / WORD_BITS] >> (i % WORD_BITS) & 1 != 0;
+    let mut i = 0usize;
+    while i < end {
+        if get(i) {
+            i += 1;
+            continue;
+        }
+        let run_start = i;
+        while i < end && !get(i) {
+            i += 1;
+        }
+        out.push((run_start as u32, (i - run_start) as u32));
+    }
+}
+
 /// A bitmask over base positions (bit `i` describes base `i`; LSB-first layout).
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BaseMask {
@@ -354,35 +506,29 @@ impl BaseMask {
     }
 
     /// Longest run of consecutive 0 bits within `[start, end)`; returns
-    /// `(run_start, run_len)` or `None` if every bit is 1.
+    /// `(run_start, run_len)` or `None` if every bit is 1. Word-parallel, with
+    /// the leftmost run winning ties exactly like the per-bit reference.
     pub fn longest_zero_run_in(&self, start: usize, end: usize) -> Option<(usize, usize)> {
-        let end = end.min(self.len);
-        let mut best: Option<(usize, usize)> = None;
-        let mut i = start;
-        while i < end {
-            if !self.get(i) {
-                let run_start = i;
-                while i < end && !self.get(i) {
-                    i += 1;
-                }
-                let run_len = i - run_start;
-                if best.map(|(_, l)| run_len > l).unwrap_or(true) {
-                    best = Some((run_start, run_len));
-                }
-            } else {
-                i += 1;
-            }
-        }
-        best
+        longest_zero_run_in_words(&self.bits, start, end.min(self.len))
+    }
+
+    /// Per-bit reference implementation of [`BaseMask::longest_zero_run_in`].
+    pub fn longest_zero_run_in_reference(
+        &self,
+        start: usize,
+        end: usize,
+    ) -> Option<(usize, usize)> {
+        longest_zero_run_in_words_reference(&self.bits, start, end.min(self.len))
     }
 
     /// Length of the run of consecutive 0 bits starting exactly at `pos`.
     pub fn zero_run_length_at(&self, pos: usize) -> usize {
-        let mut i = pos;
-        while i < self.len && !self.get(i) {
-            i += 1;
-        }
-        i - pos
+        zero_run_length_in_words(&self.bits, pos, self.len)
+    }
+
+    /// Per-bit reference implementation of [`BaseMask::zero_run_length_at`].
+    pub fn zero_run_length_at_reference(&self, pos: usize) -> usize {
+        zero_run_length_in_words_reference(&self.bits, pos, self.len)
     }
 
     fn clear_padding(&mut self) {
@@ -539,6 +685,84 @@ mod tests {
         assert_eq!(m.zero_run_length_at(0), 2);
         assert_eq!(m.zero_run_length_at(2), 0);
         assert_eq!(m.zero_run_length_at(3), 1);
+    }
+
+    #[test]
+    fn widened_run_scans_match_their_references_on_random_words() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for case in 0..4_000 {
+            let words: Vec<u64> = (0..rng.gen_range(0usize..4))
+                .map(|_| {
+                    // Mix dense, sparse and structured words so runs cross
+                    // word boundaries and whole-zero words get exercised.
+                    match rng.gen_range(0..4) {
+                        0 => rng.gen(),
+                        1 => 0,
+                        2 => u64::MAX,
+                        _ => rng.gen::<u64>() & rng.gen::<u64>() & rng.gen::<u64>(),
+                    }
+                })
+                .collect();
+            let total = words.len() * 64;
+            let start = rng.gen_range(0..=total + 3);
+            let end = rng.gen_range(0..=total + 3);
+            assert_eq!(
+                longest_zero_run_in_words(&words, start, end),
+                longest_zero_run_in_words_reference(&words, start, end),
+                "case {case}: words {words:?}, range [{start}, {end})"
+            );
+            assert_eq!(
+                zero_run_length_in_words(&words, start, end),
+                zero_run_length_in_words_reference(&words, start, end),
+                "case {case}: words {words:?}, pos {start}, end {end}"
+            );
+            let len = end.min(total);
+            let mut runs = Vec::new();
+            let mut runs_ref = Vec::new();
+            zero_runs_in_words(&words, len, &mut runs);
+            zero_runs_in_words_reference(&words, len, &mut runs_ref);
+            assert_eq!(runs, runs_ref, "case {case}: words {words:?}, len {len}");
+            // The collected list is consistent with the single-run scanners:
+            // position-ordered, disjoint, and its longest entry is the one
+            // `longest_zero_run_in_words` reports over the same range.
+            for pair in runs.windows(2) {
+                assert!(pair[0].0 + pair[0].1 < pair[1].0, "overlapping runs");
+            }
+            let longest = runs
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(s, l)| (s as usize, l as usize));
+            assert_eq!(longest, longest_zero_run_in_words(&words, 0, len));
+        }
+    }
+
+    #[test]
+    fn mask_run_scans_match_their_reference_methods() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..2_000 {
+            let len = rng.gen_range(0usize..160);
+            let m = BaseMask::from_bools((0..len).map(|_| rng.gen_bool(0.5)));
+            let start = rng.gen_range(0..=len + 2);
+            let end = rng.gen_range(0..=len + 2);
+            assert_eq!(
+                m.longest_zero_run_in(start, end),
+                m.longest_zero_run_in_reference(start, end),
+                "{m:?} [{start}, {end})"
+            );
+            if len > 0 {
+                let pos = rng.gen_range(0..len);
+                assert_eq!(
+                    m.zero_run_length_at(pos),
+                    m.zero_run_length_at_reference(pos),
+                    "{m:?} at {pos}"
+                );
+            }
+        }
     }
 
     #[test]

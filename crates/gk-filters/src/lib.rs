@@ -42,11 +42,20 @@ pub use gatekeeper::{
     gatekeeper_kernel, gatekeeper_kernel_reference, EditCounting, GateKeeperConfig,
     GateKeeperFpgaFilter, GateKeeperGpuFilter, ShdFilter,
 };
-pub use magnet::MagnetFilter;
-pub use shouji::ShoujiFilter;
+pub use magnet::{
+    magnet_filter_block, magnet_filter_block_slices, magnet_kernel_x4, magnet_pair_decision,
+    MagnetFilter,
+};
+pub use shouji::{
+    shouji_filter_block, shouji_filter_block_slices, shouji_kernel_x4, shouji_pair_decision,
+    shouji_pair_decision_reference, ShoujiFilter,
+};
 pub use simd::{
     gatekeeper_filter_block, gatekeeper_filter_block_packed, gatekeeper_filter_block_slices,
-    gatekeeper_kernel_x4, SimdMode, SIMD_MODE_ENV,
+    gatekeeper_kernel_x4, LaneMask, SimdMode, SIMD_MODE_ENV,
 };
-pub use sneaky_snake::SneakySnakeFilter;
-pub use traits::{FilterDecision, PreAlignmentFilter};
+pub use sneaky_snake::{
+    sneaky_snake_filter_block, sneaky_snake_filter_block_slices, sneaky_snake_kernel_x4,
+    sneaky_snake_pair_decision, sneaky_snake_pair_decision_reference, SneakySnakeFilter,
+};
+pub use traits::{decision_digest, FilterDecision, PreAlignmentFilter};

@@ -19,24 +19,62 @@
 //! behaviour the paper points out in §5.1.2 and which the accuracy harness here
 //! reproduces.
 
-use crate::bitvec::BaseMask;
+use crate::bitvec::{zero_runs_in_words, BaseMask};
+use crate::simd::{
+    build_mask_rows, filter_block_slices_with, lane_alphabet, lane_words, set_range_rows, shl_rows,
+    shr_rows, LaneMask, LaneRow, SimdMode, LANE_BLOCK_PAIRS, WORD_BITS,
+};
 use crate::traits::{FilterDecision, PreAlignmentFilter};
-use crate::words::{shift_left_bases, shift_right_bases, xor_to_base_mask};
+use crate::words::{
+    shift_left_bases, shift_right_bases, xor_to_base_mask, xor_to_base_mask_reference,
+};
+use gk_seq::pairs::{SequencePair, SoaGroup, SOA_LANES};
 use gk_seq::PackedSeq;
+use rayon::prelude::*;
+use std::collections::BinaryHeap;
 
 /// The MAGNET pre-alignment filter.
 #[derive(Debug, Clone)]
 pub struct MagnetFilter {
     threshold: u32,
+    simd: SimdMode,
 }
 
 impl MagnetFilter {
-    /// Creates a MAGNET filter for error threshold `e`.
+    /// Creates a MAGNET filter for error threshold `e`. The SIMD mode is
+    /// resolved against `GK_SIMD` once, here — not per batch.
     pub fn new(threshold: u32) -> MagnetFilter {
-        MagnetFilter { threshold }
+        MagnetFilter {
+            threshold,
+            simd: SimdMode::Auto.resolve(),
+        }
     }
 
-    fn build_masks(read: &PackedSeq, reference: &PackedSeq, e: u32, len: usize) -> Vec<BaseMask> {
+    /// Selects the SIMD mode for `filter_batch` (resolved immediately; `Auto`
+    /// consults `GK_SIMD` now, not on the hot path). Decisions are
+    /// byte-identical across modes; only throughput changes.
+    pub fn with_simd_mode(mut self, simd: SimdMode) -> MagnetFilter {
+        self.simd = simd.resolve();
+        self
+    }
+
+    /// The resolved SIMD mode this instance runs batches with.
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
+    }
+
+    fn build_masks(
+        read: &PackedSeq,
+        reference: &PackedSeq,
+        e: u32,
+        len: usize,
+        use_reference: bool,
+    ) -> Vec<BaseMask> {
+        let xor = if use_reference {
+            xor_to_base_mask_reference
+        } else {
+            xor_to_base_mask
+        };
         // Same shift clamp as the GateKeeper kernel: a shift by `k ≥ len`
         // vacates every position and MAGNET pads vacated positions with 1s, so
         // those masks are all 1s and contribute no zero runs — building them
@@ -44,87 +82,455 @@ impl MagnetFilter {
         // huge thresholds aborted on allocation.
         let max_shift = (e as usize).min(len.saturating_sub(1));
         let mut masks = Vec::with_capacity(2 * max_shift + 1);
-        masks.push(xor_to_base_mask(read.words(), reference.words(), len));
+        masks.push(xor(read.words(), reference.words(), len));
         for k in 1..=max_shift {
             let shifted = shift_right_bases(read.words(), k);
-            let mut del_mask = xor_to_base_mask(&shifted, reference.words(), len);
+            let mut del_mask = xor(&shifted, reference.words(), len);
             // MAGNET explicitly pads the vacated positions with 1s (this is the very
             // behaviour GateKeeper-GPU later adopted).
             del_mask.set_range(0, k.min(len));
             masks.push(del_mask);
 
             let shifted = shift_left_bases(read.words(), k);
-            let mut ins_mask = xor_to_base_mask(&shifted, reference.words(), len);
+            let mut ins_mask = xor(&shifted, reference.words(), len);
             ins_mask.set_range(len.saturating_sub(k), len);
             masks.push(ins_mask);
         }
         masks
     }
 
-    /// Greedy divide-and-conquer extraction of the longest zero runs.
-    ///
-    /// Ties between equal-length runs are broken towards the **leftmost**
-    /// start position, and the pending intervals are kept in position order,
-    /// so the extraction sequence is a pure function of the masks. (An earlier
-    /// version `swap_remove`d intervals and kept the first equal-length run in
-    /// scan order, which made tie-breaking depend on the extraction history:
-    /// the dividers consumed beside an arbitrarily chosen run could eat
-    /// neighbouring runs another order would have extracted, shifting the
-    /// final count in either direction.)
+    /// Greedy divide-and-conquer extraction of the longest zero runs, as a
+    /// pure function of `masks` via [`Extraction`] (kept as a mask-level entry
+    /// point for the extraction regression tests; the production paths go
+    /// through [`magnet_pair_decision`] / [`magnet_kernel_x4`]).
+    #[cfg(test)]
     fn estimate_edits(masks: &[BaseMask], len: usize, e: u32) -> u32 {
-        // Intervals still to be covered, as half-open [start, end), sorted by
-        // start and never empty.
-        let mut intervals: Vec<(usize, usize)> = vec![(0, len)];
-        let mut covered = 0usize;
+        Self::estimate_edits_with(len, e, |start, end| best_mask_run(masks, start, end, false))
+    }
 
+    /// The extraction loop over an abstract run finder: `best_run(start, end)`
+    /// returns the longest (leftmost on ties) zero run across all masks inside
+    /// `[start, end)`. Shared by the word-at-a-time scalar path, its per-bit
+    /// reference twin and (per lane) the SoA kernel.
+    fn estimate_edits_with<F>(len: usize, e: u32, mut best_run: F) -> u32
+    where
+        F: FnMut(usize, usize) -> Option<(usize, usize)>,
+    {
+        let mut extraction = Extraction::new(len, &mut best_run);
         // At most e + 1 extractions; each covers ≥ 1 position, so len + 1
         // rounds is a ceiling that keeps huge thresholds from looping.
         let rounds = (e as usize).saturating_add(1).min(len + 1);
         for _ in 0..rounds {
-            // The longest zero run over all masks inside any pending interval,
-            // leftmost on ties.
-            let mut best: Option<(usize, usize, usize)> = None; // (interval idx, start, len)
-            for (idx, &(start, end)) in intervals.iter().enumerate() {
-                for mask in masks {
-                    if let Some((run_start, run_len)) = mask.longest_zero_run_in(start, end) {
-                        let better = match best {
-                            None => true,
-                            Some((_, best_start, best_len)) => {
-                                run_len > best_len
-                                    || (run_len == best_len && run_start < best_start)
-                            }
-                        };
-                        if better {
-                            best = Some((idx, run_start, run_len));
+            if !extraction.step(&mut best_run) {
+                break;
+            }
+        }
+        extraction.edits(len)
+    }
+}
+
+/// The longest (leftmost on ties) zero run across all masks inside
+/// `[start, end)`.
+fn best_mask_run(
+    masks: &[BaseMask],
+    start: usize,
+    end: usize,
+    use_reference: bool,
+) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    for mask in masks {
+        let run = if use_reference {
+            mask.longest_zero_run_in_reference(start, end)
+        } else {
+            mask.longest_zero_run_in(start, end)
+        };
+        if let Some((run_start, run_len)) = run {
+            let better = match best {
+                None => true,
+                Some((best_start, best_len)) => {
+                    run_len > best_len || (run_len == best_len && run_start < best_start)
+                }
+            };
+            if better {
+                best = Some((run_start, run_len));
+            }
+        }
+    }
+    best
+}
+
+/// One lane's extraction state for the SoA kernel, driven by the lane's
+/// precollected zero-run list instead of per-interval mask rescans: a lazy
+/// max-heap of `(length, leftmost start)` run pieces plus the list of pending
+/// (not yet extracted) intervals the pieces are clipped against.
+///
+/// Equivalence with the per-interval rescan of [`Extraction`]: every candidate
+/// the rescan considers is a maximal mask run clipped to a pending interval,
+/// and clipping only ever *shrinks* a piece. The heap therefore holds
+/// over-approximations — when a popped piece still lies wholly inside a
+/// pending interval its key is exact and, being the heap maximum, it is the
+/// global (longest, then leftmost) clipped run the rescan would have picked;
+/// when it does not, its true pieces are re-clipped, pushed back and the pop
+/// repeats. Same candidates, same `(len, start)` order, same extraction.
+struct RunHeap {
+    /// Max-heap over single-`u64` piece keys: length in the high half, the
+    /// bitwise-inverted start in the low half, so the natural `u64` order is
+    /// (longest, then leftmost) with one branchless compare.
+    heap: BinaryHeap<u64>,
+    /// Pending intervals, half-open, position-ordered, non-overlapping.
+    pending: Vec<(u32, u32)>,
+    covered: usize,
+}
+
+/// Packs a `(start, len)` run piece into its heap key.
+#[inline]
+fn piece_key(start: u32, len: u32) -> u64 {
+    (u64::from(len) << 32) | u64::from(!start)
+}
+
+impl RunHeap {
+    fn new(runs: &[(u32, u32)], len: usize) -> RunHeap {
+        RunHeap {
+            heap: runs.iter().map(|&(s, l)| piece_key(s, l)).collect(),
+            pending: vec![(0, len as u32)],
+            covered: 0,
+        }
+    }
+
+    /// One extraction round; returns `false` — retire this lane — once no run
+    /// piece overlaps any pending interval.
+    fn step(&mut self) -> bool {
+        while let Some(key) = self.heap.pop() {
+            let (l, s) = ((key >> 32) as u32, !(key as u32));
+            let end = s + l;
+            let mut extracted = false;
+            for idx in 0..self.pending.len() {
+                let (ps, pe) = self.pending[idx];
+                if pe <= s {
+                    continue;
+                }
+                if ps >= end {
+                    break;
+                }
+                if ps <= s && end <= pe {
+                    // Wholly inside a pending interval — nothing extracted so
+                    // far touched it, so its key is exact: extract it, consume
+                    // a divider position on each side (a run abutting the
+                    // interval boundary consumes no divider there) and keep
+                    // the non-empty remainders pending.
+                    self.covered += l as usize;
+                    let left = (s > ps + 1).then(|| (ps, s - 1));
+                    let right = (end + 1 < pe).then(|| (end + 1, pe));
+                    match (left, right) {
+                        (Some(a), Some(b)) => {
+                            self.pending[idx] = a;
+                            self.pending.insert(idx + 1, b);
+                        }
+                        (Some(a), None) => self.pending[idx] = a,
+                        (None, Some(b)) => self.pending[idx] = b,
+                        (None, None) => {
+                            self.pending.remove(idx);
                         }
                     }
+                    extracted = true;
+                    break;
+                }
+                // Stale piece: re-clip against this interval and push the
+                // surviving (strictly shorter) piece back.
+                let cs = s.max(ps);
+                let ce = end.min(pe);
+                if ce > cs {
+                    self.heap.push(piece_key(cs, ce - cs));
                 }
             }
-            let Some((idx, run_start, run_len)) = best else {
-                break;
-            };
-            covered += run_len;
-            let (ivl_start, ivl_end) = intervals[idx];
-            // Replace the interval with the (non-empty) remainders on each
-            // side of the extracted segment, consuming one divider position
-            // per side; a run abutting an interval boundary consumes no
-            // divider there.
-            let mut remainders = [(0usize, 0usize); 2];
-            let mut count = 0;
-            if run_start > ivl_start + 1 {
-                remainders[count] = (ivl_start, run_start - 1);
-                count += 1;
+            if extracted {
+                return true;
             }
-            let run_end = run_start + run_len;
-            if run_end + 1 < ivl_end {
-                remainders[count] = (run_end + 1, ivl_end);
-                count += 1;
-            }
-            intervals.splice(idx..=idx, remainders[..count].iter().copied());
         }
-
-        (len - covered.min(len)) as u32
+        false
     }
+
+    fn edits(&self, len: usize) -> u32 {
+        (len - self.covered.min(len)) as u32
+    }
+}
+
+/// One pending search interval of the extraction loop, with its best zero run
+/// memoized: the masks never change, so an interval's best run is computed
+/// once — when the interval is created — and each round only rescans the ≤ 2
+/// remainder sub-intervals the extraction carves out.
+struct Interval {
+    start: usize,
+    end: usize,
+    best: Option<(usize, usize)>,
+}
+
+/// One sequence's extraction state (pending intervals in position order plus
+/// the covered-position count). The scalar path drives one of these to
+/// completion; the lane kernel steps four of them round-major, retiring
+/// finished lanes from a [`LaneMask`] while the group keeps stepping.
+///
+/// Ties between equal-length runs are broken towards the **leftmost** start
+/// position, and the pending intervals are kept in position order, so the
+/// extraction sequence is a pure function of the masks. (An earlier version
+/// `swap_remove`d intervals and kept the first equal-length run in scan
+/// order, which made tie-breaking depend on the extraction history: the
+/// dividers consumed beside an arbitrarily chosen run could eat neighbouring
+/// runs another order would have extracted, shifting the final count in
+/// either direction.) The memoized per-interval bests preserve that order:
+/// intervals are disjoint, so per-interval bests have distinct starts and the
+/// global (longest, then leftmost) pick is the same run a flat rescan of
+/// every interval would select.
+struct Extraction {
+    intervals: Vec<Interval>,
+    covered: usize,
+}
+
+impl Extraction {
+    fn new<F>(len: usize, best_run: &mut F) -> Extraction
+    where
+        F: FnMut(usize, usize) -> Option<(usize, usize)>,
+    {
+        Extraction {
+            intervals: vec![Interval {
+                start: 0,
+                end: len,
+                best: best_run(0, len),
+            }],
+            covered: 0,
+        }
+    }
+
+    /// One extraction round: takes the globally best memoized run, consumes a
+    /// divider position on each side (a run abutting an interval boundary
+    /// consumes no divider there) and replaces the interval with the
+    /// non-empty remainders. Returns `false` — retire this lane — once no
+    /// zero run is left anywhere.
+    fn step<F>(&mut self, best_run: &mut F) -> bool
+    where
+        F: FnMut(usize, usize) -> Option<(usize, usize)>,
+    {
+        let mut best: Option<(usize, usize, usize)> = None; // (interval idx, start, len)
+        for (idx, interval) in self.intervals.iter().enumerate() {
+            if let Some((run_start, run_len)) = interval.best {
+                let better = match best {
+                    None => true,
+                    Some((_, best_start, best_len)) => {
+                        run_len > best_len || (run_len == best_len && run_start < best_start)
+                    }
+                };
+                if better {
+                    best = Some((idx, run_start, run_len));
+                }
+            }
+        }
+        let Some((idx, run_start, run_len)) = best else {
+            return false;
+        };
+        self.covered += run_len;
+        let (ivl_start, ivl_end) = (self.intervals[idx].start, self.intervals[idx].end);
+        let mut remainders: Vec<Interval> = Vec::with_capacity(2);
+        if run_start > ivl_start + 1 {
+            remainders.push(Interval {
+                start: ivl_start,
+                end: run_start - 1,
+                best: best_run(ivl_start, run_start - 1),
+            });
+        }
+        let run_end = run_start + run_len;
+        if run_end + 1 < ivl_end {
+            remainders.push(Interval {
+                start: run_end + 1,
+                end: ivl_end,
+                best: best_run(run_end + 1, ivl_end),
+            });
+        }
+        self.intervals.splice(idx..=idx, remainders);
+        true
+    }
+
+    fn edits(&self, len: usize) -> u32 {
+        (len - self.covered.min(len)) as u32
+    }
+}
+
+/// Decision for one pair on the per-sequence path; `use_reference` selects
+/// the per-bit primitive twins for every mask build and run scan (the scalar
+/// differential leg).
+pub fn magnet_pair_decision(
+    read: &[u8],
+    reference: &[u8],
+    e: u32,
+    use_reference: bool,
+) -> FilterDecision {
+    let read_packed = PackedSeq::from_ascii(read);
+    let ref_packed = PackedSeq::from_ascii(reference);
+    let len = read_packed.len().min(ref_packed.len());
+    if len == 0 {
+        return FilterDecision::accept(0);
+    }
+    if e == 0 {
+        let mask = if use_reference {
+            xor_to_base_mask_reference(read_packed.words(), ref_packed.words(), len)
+        } else {
+            xor_to_base_mask(read_packed.words(), ref_packed.words(), len)
+        };
+        let ones = mask.count_ones();
+        return if ones == 0 {
+            FilterDecision::accept(0)
+        } else {
+            FilterDecision::reject(ones)
+        };
+    }
+    let masks = MagnetFilter::build_masks(&read_packed, &ref_packed, e, len, use_reference);
+    let edits = MagnetFilter::estimate_edits_with(len, e, |start, end| {
+        best_mask_run(&masks, start, end, use_reference)
+    });
+    if edits <= e {
+        FilterDecision::accept(edits)
+    } else {
+        FilterDecision::reject(edits)
+    }
+}
+
+/// Runs MAGNET on all lanes of a struct-of-arrays group at once. Decisions of
+/// inactive lanes (`lane >= group.lanes`) are meaningless.
+///
+/// The `2·min(e, len−1) + 1` masks are built lane-parallel with the same row
+/// primitives as the GateKeeper kernel. The extraction loop is where MAGNET
+/// diverges from GateKeeper's uniform algebra: each lane extracts different
+/// runs at different positions, so the epilogue steps all four [`Extraction`]
+/// states round-major and retires lanes that run out of zero runs from a
+/// [`LaneMask`] while the group keeps stepping — the bookkeeping a real GPU
+/// warp needs for the same loop.
+pub fn magnet_kernel_x4(group: &SoaGroup, e: u32) -> [FilterDecision; SOA_LANES] {
+    let len = group.len;
+    debug_assert!(len > 0, "SoaGroup guarantees a nonzero length");
+    let mask_rows = len.div_ceil(WORD_BITS);
+
+    let mut hamming = vec![[0u64; SOA_LANES]; mask_rows];
+    build_mask_rows(&group.read_words, &group.ref_words, len, &mut hamming);
+
+    let mut out = [FilterDecision::accept(0); SOA_LANES];
+
+    if e == 0 {
+        let mut words: Vec<u64> = Vec::with_capacity(mask_rows);
+        for (lane, decision) in out.iter_mut().enumerate().take(group.lanes) {
+            lane_words(&hamming, lane, &mut words);
+            let ones: u32 = words.iter().map(|w| w.count_ones()).sum();
+            *decision = if ones == 0 {
+                FilterDecision::accept(0)
+            } else {
+                FilterDecision::reject(ones)
+            };
+        }
+        return out;
+    }
+
+    // Same shift clamp as the scalar path: shifts ≥ len yield all-ones masks
+    // with no zero runs to extract.
+    let max_shift = (e as usize).min(len - 1);
+    let mut masks: Vec<Vec<LaneRow>> = Vec::with_capacity(2 * max_shift + 1);
+    masks.push(hamming);
+    let mut shifted = vec![[0u64; SOA_LANES]; group.read_words.len()];
+    for k in 1..=max_shift {
+        // Deletion mask: read shifted towards higher positions by k bases;
+        // MAGNET pads the k vacated positions with 1s.
+        let mut del = vec![[0u64; SOA_LANES]; mask_rows];
+        shl_rows(&group.read_words, 2 * k, &mut shifted);
+        build_mask_rows(&shifted, &group.ref_words, len, &mut del);
+        set_range_rows(&mut del, len, 0, k);
+        masks.push(del);
+
+        // Insertion mask: read shifted towards lower positions by k bases.
+        let mut ins = vec![[0u64; SOA_LANES]; mask_rows];
+        shr_rows(&group.read_words, 2 * k, &mut shifted);
+        build_mask_rows(&shifted, &group.ref_words, len, &mut ins);
+        set_range_rows(&mut ins, len, len - k, len);
+        masks.push(ins);
+    }
+
+    // Collect every mask's zero runs once per lane (flat list + bounds, so
+    // the whole group costs three allocations). The extraction loop re-queries
+    // nearly the whole read every round, so answering queries from run lists
+    // beats re-walking mask bits per sub-interval by a wide margin.
+    // A maximal zero run needs a 1 after it, so a mask of `len` bits holds at
+    // most `(len + 1) / 2` runs; reserving that up front keeps the flat list
+    // from regrowing (and re-copying) while it fills.
+    let mut runs: Vec<(u32, u32)> = Vec::with_capacity(group.lanes * masks.len() * (len + 1) / 2);
+    let mut bounds: Vec<usize> = Vec::with_capacity(group.lanes + 1);
+    bounds.push(0);
+    let mut words: Vec<u64> = Vec::with_capacity(mask_rows);
+    for lane in 0..group.lanes {
+        for mask in &masks {
+            lane_words(mask, lane, &mut words);
+            zero_runs_in_words(&words, len, &mut runs);
+        }
+        bounds.push(runs.len());
+    }
+
+    let rounds = (e as usize).saturating_add(1).min(len + 1);
+    let mut active = LaneMask::active(group.lanes);
+    let mut states: Vec<RunHeap> = (0..group.lanes)
+        .map(|lane| RunHeap::new(&runs[bounds[lane]..bounds[lane + 1]], len))
+        .collect();
+    for _ in 0..rounds {
+        if !active.any() {
+            break;
+        }
+        for (lane, state) in states.iter_mut().enumerate() {
+            if !active.is_active(lane) {
+                continue;
+            }
+            if !state.step() {
+                active.retire(lane);
+            }
+        }
+    }
+
+    for (lane, state) in states.iter().enumerate() {
+        let edits = state.edits(len);
+        out[lane] = if edits <= e {
+            FilterDecision::accept(edits)
+        } else {
+            FilterDecision::reject(edits)
+        };
+    }
+    out
+}
+
+/// Filters a block of raw ASCII pairs through MAGNET, lane-parallel where
+/// possible. In lane mode, consecutive runs of lane-eligible pairs (defined
+/// bases, equal nonzero lengths) are transposed into [`SoaGroup`]s and run
+/// through [`magnet_kernel_x4`]; everything else falls back to the
+/// word-at-a-time per-pair path. In scalar mode every pair runs the per-bit
+/// reference primitives. Output order matches input order.
+pub fn magnet_filter_block_slices(
+    pairs: &[(&[u8], &[u8])],
+    threshold: u32,
+    mode: SimdMode,
+) -> Vec<FilterDecision> {
+    filter_block_slices_with(
+        pairs,
+        mode,
+        |read, reference| lane_alphabet(read) && lane_alphabet(reference),
+        |group| magnet_kernel_x4(group, threshold),
+        |read, reference| magnet_pair_decision(read, reference, threshold, false),
+        |read, reference| magnet_pair_decision(read, reference, threshold, true),
+    )
+}
+
+/// [`magnet_filter_block_slices`] over owned [`SequencePair`]s.
+pub fn magnet_filter_block(
+    pairs: &[SequencePair],
+    threshold: u32,
+    mode: SimdMode,
+) -> Vec<FilterDecision> {
+    let slices: Vec<(&[u8], &[u8])> = pairs
+        .iter()
+        .map(|p| (p.read.as_slice(), p.reference.as_slice()))
+        .collect();
+    magnet_filter_block_slices(&slices, threshold, mode)
 }
 
 impl PreAlignmentFilter for MagnetFilter {
@@ -137,29 +543,14 @@ impl PreAlignmentFilter for MagnetFilter {
     }
 
     fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision {
-        let read_packed = PackedSeq::from_ascii(read);
-        let ref_packed = PackedSeq::from_ascii(reference);
-        let len = read_packed.len().min(ref_packed.len());
-        if len == 0 {
-            return FilterDecision::accept(0);
-        }
-        let e = self.threshold;
-        if e == 0 {
-            let mask = xor_to_base_mask(read_packed.words(), ref_packed.words(), len);
-            let ones = mask.count_ones();
-            return if ones == 0 {
-                FilterDecision::accept(0)
-            } else {
-                FilterDecision::reject(ones)
-            };
-        }
-        let masks = Self::build_masks(&read_packed, &ref_packed, e, len);
-        let edits = Self::estimate_edits(&masks, len, e);
-        if edits <= e {
-            FilterDecision::accept(edits)
-        } else {
-            FilterDecision::reject(edits)
-        }
+        magnet_pair_decision(read, reference, self.threshold, false)
+    }
+
+    fn filter_batch(&self, pairs: &[SequencePair]) -> Vec<FilterDecision> {
+        pairs
+            .par_chunks(LANE_BLOCK_PAIRS)
+            .flat_map(|block| magnet_filter_block(block, self.threshold, self.simd))
+            .collect()
     }
 }
 
@@ -174,6 +565,41 @@ mod tests {
 
     fn random_seq(len: usize, rng: &mut StdRng) -> Vec<u8> {
         (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    }
+
+    /// The kernel's heap-driven extraction over collected run lists must
+    /// produce exactly the edits the interval-rescan [`Extraction`] produces
+    /// over the same masks — including the leftmost tie-break and the
+    /// divider-at-boundary cases (the lazy re-clipping invariant in the
+    /// [`RunHeap`] docs, checked mask-for-mask on random inputs).
+    #[test]
+    fn heap_extraction_matches_interval_rescan_extraction() {
+        let mut rng = StdRng::seed_from_u64(26);
+        for case in 0..5_000 {
+            let len = rng.gen_range(1usize..60);
+            let e = rng.gen_range(0u32..8);
+            let mask_count = rng.gen_range(1usize..4);
+            let masks: Vec<BaseMask> = (0..mask_count)
+                .map(|_| BaseMask::from_bools((0..len).map(|_| rng.gen_bool(0.4))))
+                .collect();
+            let expected = MagnetFilter::estimate_edits(&masks, len, e);
+            let mut runs = Vec::new();
+            for mask in &masks {
+                zero_runs_in_words(mask.words(), len, &mut runs);
+            }
+            let mut heap = RunHeap::new(&runs, len);
+            let rounds = (e as usize).saturating_add(1).min(len + 1);
+            for _ in 0..rounds {
+                if !heap.step() {
+                    break;
+                }
+            }
+            assert_eq!(
+                heap.edits(len),
+                expected,
+                "case {case}: len {len}, e {e}, masks {masks:?}"
+            );
+        }
     }
 
     /// Spec-faithful brute-force reference for the extraction loop:
@@ -405,5 +831,144 @@ mod tests {
         let f = MagnetFilter::new(7);
         assert_eq!(f.name(), "MAGNET");
         assert_eq!(f.threshold(), 7);
+    }
+
+    #[test]
+    fn kernel_x4_matches_per_pair_path_on_random_groups() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..150 {
+            let len = rng.gen_range(1usize..=200);
+            let e = rng.gen_range(0u32..=10);
+            let lanes = rng.gen_range(1usize..=SOA_LANES);
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..lanes)
+                .map(|_| {
+                    let reference = random_seq(len, &mut rng);
+                    let edits = rng.gen_range(0usize..=(e as usize + 4));
+                    let read = mutate_with_edits(&reference, edits, 0.3, &mut rng);
+                    (read, reference)
+                })
+                .collect();
+            let slices: Vec<(&[u8], &[u8])> = pairs
+                .iter()
+                .map(|(r, s)| (r.as_slice(), s.as_slice()))
+                .collect();
+            let group = SoaGroup::encode_slices(&slices).expect("lane-eligible group");
+            let lane_decisions = magnet_kernel_x4(&group, e);
+            for (lane, (read, reference)) in pairs.iter().enumerate() {
+                let expected = magnet_pair_decision(read, reference, e, false);
+                assert_eq!(
+                    lane_decisions[lane], expected,
+                    "len = {len}, e = {e}, lane = {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_x4_handles_word_boundary_lengths() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for len in [1usize, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129] {
+            for e in [0u32, 1, 4, 40] {
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..SOA_LANES)
+                    .map(|_| {
+                        let reference = random_seq(len, &mut rng);
+                        let read =
+                            mutate_with_edits(&reference, rng.gen_range(0..=6), 0.3, &mut rng);
+                        (read, reference)
+                    })
+                    .collect();
+                let slices: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(r, s)| (r.as_slice(), s.as_slice()))
+                    .collect();
+                let group = SoaGroup::encode_slices(&slices).unwrap();
+                let lane_decisions = magnet_kernel_x4(&group, e);
+                for (lane, (read, reference)) in pairs.iter().enumerate() {
+                    let expected = magnet_pair_decision(read, reference, e, false);
+                    assert_eq!(lane_decisions[lane], expected, "len = {len}, e = {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_pair_path_matches_its_per_bit_reference_twin() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..300 {
+            let len = rng.gen_range(0usize..=96);
+            let e = rng.gen_range(0u32..=8);
+            let reference = random_seq(len, &mut rng);
+            let read = if len == 0 {
+                Vec::new()
+            } else {
+                mutate_with_edits(&reference, rng.gen_range(0..=8), 0.3, &mut rng)
+            };
+            assert_eq!(
+                magnet_pair_decision(&read, &reference, e, false),
+                magnet_pair_decision(&read, &reference, e, true),
+                "len = {len}, e = {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_driver_matches_per_pair_decisions_with_mixed_pairs() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let e = 4u32;
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..97 {
+            let len = match i % 5 {
+                0 | 1 => 100,
+                2 => 64,
+                3 => 33,
+                _ => 100,
+            };
+            let reference = random_seq(len, &mut rng);
+            let mut read = mutate_with_edits(&reference, rng.gen_range(0..8), 0.3, &mut rng);
+            if i % 11 == 0 {
+                read[len / 2] = b'N'; // undefined pair → per-pair fallback
+            }
+            if i % 13 == 0 {
+                read.pop(); // ragged length → per-pair fallback
+            }
+            pairs.push((read, reference));
+        }
+        pairs.push((Vec::new(), Vec::new()));
+        let slices: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(r, s)| (r.as_slice(), s.as_slice()))
+            .collect();
+        let expected: Vec<FilterDecision> = pairs
+            .iter()
+            .map(|(read, reference)| magnet_pair_decision(read, reference, e, false))
+            .collect();
+        let lanes = magnet_filter_block_slices(&slices, e, SimdMode::Lanes);
+        assert_eq!(lanes, expected);
+        let scalar = magnet_filter_block_slices(&slices, e, SimdMode::Scalar);
+        assert_eq!(scalar, expected);
+    }
+
+    #[test]
+    fn filter_batch_is_identical_across_simd_modes() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let batch: Vec<SequencePair> = (0..600)
+            .map(|_| {
+                let reference = random_seq(100, &mut rng);
+                let read = mutate_with_edits(&reference, rng.gen_range(0..10), 0.3, &mut rng);
+                SequencePair::new(read, reference)
+            })
+            .collect();
+        let filter = MagnetFilter::new(5);
+        let lanes = filter
+            .clone()
+            .with_simd_mode(SimdMode::Lanes)
+            .filter_batch(&batch);
+        let scalar = filter.with_simd_mode(SimdMode::Scalar).filter_batch(&batch);
+        assert_eq!(lanes, scalar);
+        let per_pair: Vec<FilterDecision> = batch
+            .iter()
+            .map(|p| magnet_pair_decision(&p.read, &p.reference, 5, false))
+            .collect();
+        assert_eq!(lanes, per_pair);
     }
 }

@@ -14,7 +14,15 @@
 //! everywhere, slightly better than GateKeeper-GPU at 150/250 bp, well behind
 //! SneakySnake.
 
+use crate::bitvec::BaseMask;
+use crate::simd::{
+    build_mask_rows, canonical_acgt, filter_block_slices_with, set_range_rows, shl_rows, shr_rows,
+    LaneRow, SimdMode, LANE_BLOCK_PAIRS, WORD_BITS,
+};
 use crate::traits::{FilterDecision, PreAlignmentFilter};
+use crate::words::{nibble_min, nibble_popcounts, sum_nibbles};
+use gk_seq::pairs::{SequencePair, SoaGroup, SOA_LANES};
+use rayon::prelude::*;
 
 /// Width of the sliding search window, as in the Shouji paper.
 const WINDOW: usize = 4;
@@ -23,12 +31,30 @@ const WINDOW: usize = 4;
 #[derive(Debug, Clone)]
 pub struct ShoujiFilter {
     threshold: u32,
+    simd: SimdMode,
 }
 
 impl ShoujiFilter {
-    /// Creates a Shouji filter for error threshold `e`.
+    /// Creates a Shouji filter for error threshold `e`. The SIMD mode is
+    /// resolved against `GK_SIMD` once, here — not per batch.
     pub fn new(threshold: u32) -> ShoujiFilter {
-        ShoujiFilter { threshold }
+        ShoujiFilter {
+            threshold,
+            simd: SimdMode::Auto.resolve(),
+        }
+    }
+
+    /// Selects the SIMD mode for `filter_batch` (resolved immediately; `Auto`
+    /// consults `GK_SIMD` now, not on the hot path). Decisions are
+    /// byte-identical across modes; only throughput changes.
+    pub fn with_simd_mode(mut self, simd: SimdMode) -> ShoujiFilter {
+        self.simd = simd.resolve();
+        self
+    }
+
+    /// The resolved SIMD mode this instance runs batches with.
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
     }
 
     /// Neighborhood-map entry for column `col` and diagonal `diag`: `false` (0)
@@ -91,6 +117,185 @@ impl ShoujiFilter {
     }
 }
 
+/// Decision for one pair on the per-byte scalar path.
+pub fn shouji_pair_decision(read: &[u8], reference: &[u8], e: u32) -> FilterDecision {
+    let edits = ShoujiFilter::estimate_edits(read, reference, e);
+    if edits <= e {
+        FilterDecision::accept(edits)
+    } else {
+        FilterDecision::reject(edits)
+    }
+}
+
+/// Per-bit reference twin of [`shouji_pair_decision`] — the
+/// `SimdMode::Scalar` differential leg, mirroring the GateKeeper and MAGNET
+/// reference paths.
+///
+/// Materialises the full neighborhood map the paper describes (one mismatch
+/// [`BaseMask`] per in-band diagonal, built from the same raw ASCII
+/// comparisons as the per-byte sweep, with out-of-range columns as
+/// mismatches) and scores every window on every diagonal one bit at a time
+/// with no early exits. Decisions are byte-identical to the per-byte sweep
+/// and the lane kernel; only throughput differs.
+pub fn shouji_pair_decision_reference(read: &[u8], reference: &[u8], e: u32) -> FilterDecision {
+    let len = read.len().min(reference.len());
+    if len == 0 {
+        return FilterDecision::accept(0);
+    }
+    // Same band clamp as the per-byte sweep: out-of-band diagonals are
+    // all-mismatch and can never beat the seeded window width.
+    let lo = -((e as usize).min(len - 1) as isize);
+    let hi = (e as usize).min(reference.len() - 1) as isize;
+    let map: Vec<BaseMask> = (lo..=hi)
+        .map(|diag| {
+            BaseMask::from_bools((0..len).map(|col| {
+                let t = col as isize + diag;
+                t < 0 || t as usize >= reference.len() || read[col] != reference[t as usize]
+            }))
+        })
+        .collect();
+    let mut edits = 0u32;
+    let mut col = 0usize;
+    while col < len {
+        let end = (col + WINDOW).min(len);
+        let mut best_mismatches = (end - col) as u32;
+        for mask in &map {
+            let mismatches = (col..end).filter(|&c| mask.get(c)).count() as u32;
+            if mismatches < best_mismatches {
+                best_mismatches = mismatches;
+            }
+        }
+        edits += best_mismatches;
+        col = end;
+    }
+    if edits <= e {
+        FilterDecision::accept(edits)
+    } else {
+        FilterDecision::reject(edits)
+    }
+}
+
+/// Per-window widths as packed nibbles, one nibble per window: `4` for every
+/// full window, `len % 4` for a tail window, `0` past the sequence — the
+/// all-mismatch seed every in-band diagonal can only improve on.
+fn window_seed_words(len: usize, mask_rows: usize) -> Vec<u64> {
+    const WINDOWS_PER_WORD: usize = WORD_BITS / WINDOW;
+    let mut seed = vec![0u64; mask_rows];
+    let full_windows = len / WINDOW;
+    for window in 0..full_windows {
+        seed[window / WINDOWS_PER_WORD] |= (WINDOW as u64) << (4 * (window % WINDOWS_PER_WORD));
+    }
+    let tail = len % WINDOW;
+    if tail != 0 {
+        seed[full_windows / WINDOWS_PER_WORD] |=
+            (tail as u64) << (4 * (full_windows % WINDOWS_PER_WORD));
+    }
+    seed
+}
+
+/// Runs Shouji on all lanes of a struct-of-arrays group at once. Decisions of
+/// inactive lanes (`lane >= group.lanes`) are meaningless.
+///
+/// The window width equals four bases — one nibble of the per-base mask rows
+/// — and windows start at multiples of four, so every window is one
+/// nibble-aligned 4-bit field: per diagonal, [`nibble_popcounts`] scores all
+/// 16 windows of a word at once and [`nibble_min`] folds the per-window
+/// minimum across diagonals, in every lane in parallel. The per-window sweep
+/// is uniform across lanes (unlike MAGNET/SneakySnake no lane retires early),
+/// so no active-mask is needed here.
+pub fn shouji_kernel_x4(group: &SoaGroup, e: u32) -> [FilterDecision; SOA_LANES] {
+    let len = group.len;
+    debug_assert!(len > 0, "SoaGroup guarantees a nonzero length");
+    let mask_rows = len.div_ceil(WORD_BITS);
+
+    // Equal-length lanes make the scalar path's asymmetric band clamps
+    // coincide: lo = −min(e, len−1), hi = +min(e, len−1).
+    let maxd = (e as usize).min(len - 1);
+
+    let seed = window_seed_words(len, mask_rows);
+    let mut acc = vec![[0u64; SOA_LANES]; mask_rows];
+    for (row, &seed_word) in acc.iter_mut().zip(seed.iter()) {
+        *row = [seed_word; SOA_LANES];
+    }
+
+    let mut shifted = vec![[0u64; SOA_LANES]; group.ref_words.len()];
+    let mut mask = vec![[0u64; SOA_LANES]; mask_rows];
+    for d in -(maxd as isize)..=(maxd as isize) {
+        // Diagonal d compares read[col] with ref[col + d]: shift the
+        // *reference* so position col + d lands at col, then force the
+        // out-of-range columns (t < 0 or t ≥ len) to mismatch — the shift
+        // vacates them with zero bits, i.e. 'A' codes that could falsely
+        // match.
+        let mismatch_rows: &[LaneRow] = if d == 0 {
+            &group.ref_words
+        } else if d > 0 {
+            shr_rows(&group.ref_words, 2 * d as usize, &mut shifted);
+            &shifted
+        } else {
+            shl_rows(&group.ref_words, 2 * (-d) as usize, &mut shifted);
+            &shifted
+        };
+        build_mask_rows(&group.read_words, mismatch_rows, len, &mut mask);
+        if d > 0 {
+            set_range_rows(&mut mask, len, len - d as usize, len);
+        } else if d < 0 {
+            set_range_rows(&mut mask, len, 0, (-d) as usize);
+        }
+        for (acc_row, mask_row) in acc.iter_mut().zip(mask.iter()) {
+            for lane in 0..SOA_LANES {
+                // Window scores are ≤ 4, well inside nibble_min's ≤ 7 domain.
+                acc_row[lane] = nibble_min(acc_row[lane], nibble_popcounts(mask_row[lane]));
+            }
+        }
+    }
+
+    let mut out = [FilterDecision::accept(0); SOA_LANES];
+    for (lane, decision) in out.iter_mut().enumerate().take(group.lanes) {
+        let edits: u32 = acc.iter().map(|row| sum_nibbles(row[lane])).sum();
+        *decision = if edits <= e {
+            FilterDecision::accept(edits)
+        } else {
+            FilterDecision::reject(edits)
+        };
+    }
+    out
+}
+
+/// Filters a block of raw ASCII pairs through Shouji, lane-parallel where
+/// possible. The scalar sweep compares raw ASCII bytes (`'a' ≠ 'A'`) while
+/// the lane kernel compares 2-bit codes, so lane eligibility is restricted to
+/// uppercase `ACGT` pairs where the two comparisons provably agree; everything
+/// else falls back to the per-byte path. In scalar mode every pair runs the
+/// per-bit reference twin ([`shouji_pair_decision_reference`]), mirroring the
+/// GateKeeper and MAGNET scalar legs. Output order matches input order.
+pub fn shouji_filter_block_slices(
+    pairs: &[(&[u8], &[u8])],
+    threshold: u32,
+    mode: SimdMode,
+) -> Vec<FilterDecision> {
+    filter_block_slices_with(
+        pairs,
+        mode,
+        |read, reference| canonical_acgt(read) && canonical_acgt(reference),
+        |group| shouji_kernel_x4(group, threshold),
+        |read, reference| shouji_pair_decision(read, reference, threshold),
+        |read, reference| shouji_pair_decision_reference(read, reference, threshold),
+    )
+}
+
+/// [`shouji_filter_block_slices`] over owned [`SequencePair`]s.
+pub fn shouji_filter_block(
+    pairs: &[SequencePair],
+    threshold: u32,
+    mode: SimdMode,
+) -> Vec<FilterDecision> {
+    let slices: Vec<(&[u8], &[u8])> = pairs
+        .iter()
+        .map(|p| (p.read.as_slice(), p.reference.as_slice()))
+        .collect();
+    shouji_filter_block_slices(&slices, threshold, mode)
+}
+
 impl PreAlignmentFilter for ShoujiFilter {
     fn name(&self) -> &str {
         "Shouji"
@@ -101,12 +306,14 @@ impl PreAlignmentFilter for ShoujiFilter {
     }
 
     fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision {
-        let edits = Self::estimate_edits(read, reference, self.threshold);
-        if edits <= self.threshold {
-            FilterDecision::accept(edits)
-        } else {
-            FilterDecision::reject(edits)
-        }
+        shouji_pair_decision(read, reference, self.threshold)
+    }
+
+    fn filter_batch(&self, pairs: &[SequencePair]) -> Vec<FilterDecision> {
+        pairs
+            .par_chunks(LANE_BLOCK_PAIRS)
+            .flat_map(|block| shouji_filter_block(block, self.threshold, self.simd))
+            .collect()
     }
 }
 
@@ -332,5 +539,186 @@ mod tests {
         let f = ShoujiFilter::new(6);
         assert_eq!(f.name(), "Shouji");
         assert_eq!(f.threshold(), 6);
+    }
+
+    /// Satellite regression for the short-read window residues: every length
+    /// around the window width, pinned to the independent brute-force scorer
+    /// at the exact e values the sweep's clamps care about (0, 1, len−1, len).
+    #[test]
+    fn short_reads_around_window_width_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for len in [1usize, WINDOW - 1, WINDOW, WINDOW + 1] {
+            for _ in 0..50 {
+                let reference = random_seq(len, &mut rng);
+                let read = mutate_with_edits(&reference, rng.gen_range(0..=len), 0.5, &mut rng);
+                for e in [0u32, 1, len.saturating_sub(1) as u32, len as u32] {
+                    assert_eq!(
+                        ShoujiFilter::estimate_edits(&read, &reference, e),
+                        brute_force_estimate(&read, &reference, e),
+                        "len {len}, e = {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_x4_matches_per_pair_path_on_random_groups() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..200 {
+            let len = rng.gen_range(1usize..=200);
+            let e = rng.gen_range(0u32..=12);
+            let lanes = rng.gen_range(1usize..=SOA_LANES);
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..lanes)
+                .map(|_| {
+                    let reference = random_seq(len, &mut rng);
+                    let edits = rng.gen_range(0usize..=(e as usize + 4));
+                    let read = mutate_with_edits(&reference, edits, 0.3, &mut rng);
+                    (read, reference)
+                })
+                .collect();
+            let slices: Vec<(&[u8], &[u8])> = pairs
+                .iter()
+                .map(|(r, s)| (r.as_slice(), s.as_slice()))
+                .collect();
+            let group = SoaGroup::encode_slices(&slices).expect("lane-eligible group");
+            let lane_decisions = shouji_kernel_x4(&group, e);
+            for (lane, (read, reference)) in pairs.iter().enumerate() {
+                let expected = shouji_pair_decision(read, reference, e);
+                assert_eq!(
+                    lane_decisions[lane], expected,
+                    "len = {len}, e = {e}, lane = {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_x4_handles_word_boundary_lengths() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for len in [1usize, 3, 4, 5, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129] {
+            for e in [0u32, 1, 4, 40] {
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..SOA_LANES)
+                    .map(|_| {
+                        let reference = random_seq(len, &mut rng);
+                        let read =
+                            mutate_with_edits(&reference, rng.gen_range(0..=6), 0.3, &mut rng);
+                        (read, reference)
+                    })
+                    .collect();
+                let slices: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(r, s)| (r.as_slice(), s.as_slice()))
+                    .collect();
+                let group = SoaGroup::encode_slices(&slices).unwrap();
+                let lane_decisions = shouji_kernel_x4(&group, e);
+                for (lane, (read, reference)) in pairs.iter().enumerate() {
+                    let expected = shouji_pair_decision(read, reference, e);
+                    assert_eq!(lane_decisions[lane], expected, "len = {len}, e = {e}");
+                }
+            }
+        }
+    }
+
+    /// The per-bit reference twin must match the per-byte production sweep
+    /// byte-for-byte, including ragged lengths, non-canonical bytes (raw
+    /// ASCII semantics: `'a' ≠ 'A'`, `'N'` mismatches everything) and huge
+    /// thresholds that exercise the band clamp.
+    #[test]
+    fn per_byte_path_matches_its_per_bit_reference_twin() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for case in 0..400 {
+            let len = rng.gen_range(0usize..=96);
+            let e = if case % 17 == 0 {
+                u32::MAX
+            } else {
+                rng.gen_range(0u32..=8)
+            };
+            let reference = random_seq(len, &mut rng);
+            let mut read = if len == 0 {
+                Vec::new()
+            } else {
+                mutate_with_edits(&reference, rng.gen_range(0..=8), 0.3, &mut rng)
+            };
+            if case % 5 == 0 && !read.is_empty() {
+                let mid = read.len() / 2;
+                read[mid] = if case % 10 == 0 { b'N' } else { b'a' };
+            }
+            if case % 7 == 0 {
+                read.pop();
+            }
+            assert_eq!(
+                shouji_pair_decision(&read, &reference, e),
+                shouji_pair_decision_reference(&read, &reference, e),
+                "case {case}: len = {len}, e = {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_driver_matches_per_pair_decisions_with_mixed_pairs() {
+        // Mixed lengths, ragged pairs, empty pairs, and lowercase/N bases —
+        // the latter two must take the per-byte fallback because Shouji's
+        // scalar sweep is case-sensitive while the 2-bit lanes are not.
+        let mut rng = StdRng::seed_from_u64(33);
+        let e = 4u32;
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..97 {
+            let len = match i % 5 {
+                0 | 1 => 100,
+                2 => 64,
+                3 => 33,
+                _ => 100,
+            };
+            let reference = random_seq(len, &mut rng);
+            let mut read = mutate_with_edits(&reference, rng.gen_range(0..8), 0.3, &mut rng);
+            if i % 7 == 0 {
+                read[len / 2] = read[len / 2].to_ascii_lowercase();
+            }
+            if i % 11 == 0 {
+                read[len / 3] = b'N';
+            }
+            if i % 13 == 0 {
+                read.pop();
+            }
+            pairs.push((read, reference));
+        }
+        pairs.push((Vec::new(), Vec::new()));
+        let slices: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(r, s)| (r.as_slice(), s.as_slice()))
+            .collect();
+        let expected: Vec<FilterDecision> = pairs
+            .iter()
+            .map(|(read, reference)| shouji_pair_decision(read, reference, e))
+            .collect();
+        let lanes = shouji_filter_block_slices(&slices, e, SimdMode::Lanes);
+        assert_eq!(lanes, expected);
+        let scalar = shouji_filter_block_slices(&slices, e, SimdMode::Scalar);
+        assert_eq!(scalar, expected);
+    }
+
+    #[test]
+    fn filter_batch_is_identical_across_simd_modes() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let batch: Vec<SequencePair> = (0..600)
+            .map(|_| {
+                let reference = random_seq(100, &mut rng);
+                let read = mutate_with_edits(&reference, rng.gen_range(0..10), 0.3, &mut rng);
+                SequencePair::new(read, reference)
+            })
+            .collect();
+        let filter = ShoujiFilter::new(5);
+        let lanes = filter
+            .clone()
+            .with_simd_mode(SimdMode::Lanes)
+            .filter_batch(&batch);
+        let scalar = filter.with_simd_mode(SimdMode::Scalar).filter_batch(&batch);
+        assert_eq!(lanes, scalar);
+        let per_pair: Vec<FilterDecision> = batch
+            .iter()
+            .map(|p| shouji_pair_decision(&p.read, &p.reference, 5))
+            .collect();
+        assert_eq!(lanes, per_pair);
     }
 }

@@ -50,12 +50,32 @@ pub enum SimdMode {
 
 impl SimdMode {
     /// Resolves [`SimdMode::Auto`] against the environment; explicit modes
-    /// win over the `GK_SIMD` variable.
+    /// win over the `GK_SIMD` variable. An unrecognized value warns once per
+    /// process and falls back to [`SimdMode::Lanes`] (the same choice as
+    /// unset), so a typo degrades to the fast path loudly instead of being
+    /// silently reinterpreted.
+    ///
+    /// Resolution reads the environment, so hot paths must not call it per
+    /// pair or per block — the filters resolve once at construction and
+    /// thread the explicit mode through.
     pub fn resolve(self) -> SimdMode {
         match self {
             SimdMode::Auto => match std::env::var(SIMD_MODE_ENV) {
-                Ok(value) if value.eq_ignore_ascii_case("scalar") => SimdMode::Scalar,
-                _ => SimdMode::Lanes,
+                Err(_) => SimdMode::Lanes,
+                Ok(value) => {
+                    let (mode, recognized) = classify_env_value(&value);
+                    if !recognized {
+                        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                        WARN_ONCE.call_once(|| {
+                            eprintln!(
+                                "warning: unrecognized {SIMD_MODE_ENV}='{value}' \
+                                 (expected auto, lanes, simd or scalar); \
+                                 using the lane-parallel kernels"
+                            );
+                        });
+                    }
+                    mode
+                }
             },
             explicit => explicit,
         }
@@ -64,6 +84,20 @@ impl SimdMode {
     /// True when the resolved mode runs the lane-parallel kernels.
     pub fn use_lanes(self) -> bool {
         self.resolve() == SimdMode::Lanes
+    }
+}
+
+/// Pure classification of a `GK_SIMD` value: the resolved mode plus whether
+/// the value was recognized (the warn-once side effect lives in
+/// [`SimdMode::resolve`] so this stays trivially testable).
+fn classify_env_value(value: &str) -> (SimdMode, bool) {
+    if value.is_empty() {
+        return (SimdMode::Lanes, true);
+    }
+    match value.parse::<SimdMode>() {
+        Ok(SimdMode::Scalar) => (SimdMode::Scalar, true),
+        Ok(_) => (SimdMode::Lanes, true),
+        Err(_) => (SimdMode::Lanes, false),
     }
 }
 
@@ -92,10 +126,59 @@ impl fmt::Display for SimdMode {
     }
 }
 
-type LaneRow = [u64; SOA_LANES];
+pub(crate) type LaneRow = [u64; SOA_LANES];
 
-const WORD_BITS: usize = 64;
+pub(crate) const WORD_BITS: usize = 64;
 const EVEN_BITS: u64 = 0x5555_5555_5555_5555;
+
+/// Pairs handed to one lane-parallel block task by the filters'
+/// `filter_batch` overrides: large enough to amortise the struct-of-arrays
+/// transpose, small enough to keep the work-stealing queue full (mirrors the
+/// `GateKeeperCpu` block size).
+pub(crate) const LANE_BLOCK_PAIRS: usize = 256;
+
+/// Per-lane active mask for divergent lane-parallel loops.
+///
+/// GateKeeper's mask algebra is uniform across lanes, but MAGNET's extraction
+/// rounds and SneakySnake's greedy traversal are *data-dependent*: each lane
+/// finishes its extraction/column walk at a different step. Rather than
+/// padding every lane to the slowest one, the kernels keep stepping the group
+/// while retiring finished lanes from this mask — the same bookkeeping a real
+/// GPU warp needs when threads of one warp diverge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneMask {
+    bits: u8,
+}
+
+impl LaneMask {
+    /// A mask with the first `lanes` lanes active.
+    pub fn active(lanes: usize) -> LaneMask {
+        debug_assert!(lanes <= SOA_LANES);
+        LaneMask {
+            bits: ((1u16 << lanes) - 1) as u8,
+        }
+    }
+
+    /// Retires one lane; further steps skip it.
+    pub fn retire(&mut self, lane: usize) {
+        self.bits &= !(1u8 << lane);
+    }
+
+    /// True while `lane` still participates in the group's steps.
+    pub fn is_active(self, lane: usize) -> bool {
+        self.bits & (1u8 << lane) != 0
+    }
+
+    /// True while any lane is still active (the group keeps stepping).
+    pub fn any(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Number of still-active lanes.
+    pub fn count(self) -> u32 {
+        self.bits.count_ones()
+    }
+}
 
 /// OR of the two bits of every 2-bit base field of the XOR difference: even
 /// bit `2s` is set iff base `s` differs.
@@ -120,7 +203,7 @@ fn compress_even_u64(x: u64) -> u64 {
 /// exactly cover `len.div_ceil(64)` words, so only the final row can carry
 /// garbage (from shifted-sequence bits beyond the sequence length).
 #[inline]
-fn clear_tail_rows(rows: &mut [LaneRow], len: usize) {
+pub(crate) fn clear_tail_rows(rows: &mut [LaneRow], len: usize) {
     let used = len % WORD_BITS;
     if used != 0 {
         if let Some(last) = rows.last_mut() {
@@ -135,7 +218,12 @@ fn clear_tail_rows(rows: &mut [LaneRow], len: usize) {
 /// XOR + per-base OR-reduction of two SoA sequence arrays into per-base mask
 /// rows (`out.len() == len.div_ceil(64)`; one mask row condenses two sequence
 /// rows). Bits beyond `len` are cleared.
-fn build_mask_rows(read: &[LaneRow], reference: &[LaneRow], len: usize, out: &mut [LaneRow]) {
+pub(crate) fn build_mask_rows(
+    read: &[LaneRow],
+    reference: &[LaneRow],
+    len: usize,
+    out: &mut [LaneRow],
+) {
     for (mrow, slot) in out.iter_mut().enumerate() {
         let lo_row = 2 * mrow;
         let hi_row = 2 * mrow + 1;
@@ -152,7 +240,7 @@ fn build_mask_rows(read: &[LaneRow], reference: &[LaneRow], len: usize, out: &mu
 /// `bits` (sequence shift towards higher base positions when `bits = 2k`);
 /// vacated low bits become zero, exactly the `A` the word-at-a-time path
 /// shifts in.
-fn shl_rows(src: &[LaneRow], bits: usize, out: &mut [LaneRow]) {
+pub(crate) fn shl_rows(src: &[LaneRow], bits: usize, out: &mut [LaneRow]) {
     let word_shift = bits / WORD_BITS;
     let bit_shift = bits % WORD_BITS;
     for r in 0..out.len() {
@@ -178,7 +266,7 @@ fn shl_rows(src: &[LaneRow], bits: usize, out: &mut [LaneRow]) {
 
 /// Lane-wise shift of the SoA bit rows towards *lower* bit positions by
 /// `bits`; vacated high bits become zero.
-fn shr_rows(src: &[LaneRow], bits: usize, out: &mut [LaneRow]) {
+pub(crate) fn shr_rows(src: &[LaneRow], bits: usize, out: &mut [LaneRow]) {
     let word_shift = bits / WORD_BITS;
     let bit_shift = bits % WORD_BITS;
     for (r, row) in out.iter_mut().enumerate() {
@@ -207,7 +295,12 @@ fn shr_rows(src: &[LaneRow], bits: usize, out: &mut [LaneRow]) {
 /// dilate/erode passes (see [`crate::bitvec::BaseMask::amend_short_zero_runs`]
 /// for the correctness argument). `scratch` is reused across calls; it grows
 /// to `mask.len() + max_run/64 + 2` rows of dilation head-room.
-fn amend_rows(mask: &mut [LaneRow], len: usize, max_run: usize, scratch: &mut Vec<LaneRow>) {
+pub(crate) fn amend_rows(
+    mask: &mut [LaneRow],
+    len: usize,
+    max_run: usize,
+    scratch: &mut Vec<LaneRow>,
+) {
     if len == 0 || max_run == 0 {
         return;
     }
@@ -253,7 +346,7 @@ fn amend_rows(mask: &mut [LaneRow], len: usize, max_run: usize, scratch: &mut Ve
 
 /// Lane-wise `set_range`: sets mask bits `[start, end)` (clamped to `len`) in
 /// every lane using whole-word head/tail masks.
-fn set_range_rows(mask: &mut [LaneRow], len: usize, start: usize, end: usize) {
+pub(crate) fn set_range_rows(mask: &mut [LaneRow], len: usize, start: usize, end: usize) {
     let end = end.min(len);
     if start >= end {
         return;
@@ -280,7 +373,7 @@ fn set_range_rows(mask: &mut [LaneRow], len: usize, start: usize, end: usize) {
 }
 
 /// Lane-wise in-place AND.
-fn and_rows(acc: &mut [LaneRow], other: &[LaneRow]) {
+pub(crate) fn and_rows(acc: &mut [LaneRow], other: &[LaneRow]) {
     for (a, b) in acc.iter_mut().zip(other.iter()) {
         for lane in 0..SOA_LANES {
             a[lane] &= b[lane];
@@ -289,7 +382,7 @@ fn and_rows(acc: &mut [LaneRow], other: &[LaneRow]) {
 }
 
 /// Extracts one lane's mask words for the per-lane counting epilogue.
-fn lane_words(mask: &[LaneRow], lane: usize, out: &mut Vec<u64>) {
+pub(crate) fn lane_words(mask: &[LaneRow], lane: usize, out: &mut Vec<u64>) {
     out.clear();
     out.extend(mask.iter().map(|row| row[lane]));
 }
@@ -396,6 +489,94 @@ fn scalar_pair_decision(
     }
 }
 
+/// Generic lane-parallel block driver over raw ASCII pairs, shared by the
+/// block paths of all four filters.
+///
+/// In lane mode, consecutive runs of lane-eligible pairs (nonzero equal
+/// lengths plus the filter's own `eligible_pair` predicate) are transposed
+/// into [`SoaGroup`]s of up to four and handed to `kernel`; everything else
+/// falls back to `fallback` per pair. In scalar (or unresolved-to-scalar)
+/// mode every pair runs `scalar`. Output order matches input order.
+pub(crate) fn filter_block_slices_with<E, K, F, S>(
+    pairs: &[(&[u8], &[u8])],
+    mode: SimdMode,
+    eligible_pair: E,
+    mut kernel: K,
+    mut fallback: F,
+    mut scalar: S,
+) -> Vec<FilterDecision>
+where
+    E: Fn(&[u8], &[u8]) -> bool,
+    K: FnMut(&SoaGroup) -> [FilterDecision; SOA_LANES],
+    F: FnMut(&[u8], &[u8]) -> FilterDecision,
+    S: FnMut(&[u8], &[u8]) -> FilterDecision,
+{
+    if !mode.use_lanes() {
+        return pairs
+            .iter()
+            .map(|(read, reference)| scalar(read, reference))
+            .collect();
+    }
+
+    let mut decisions = vec![FilterDecision::accept(0); pairs.len()];
+    let mut eligible: Vec<usize> = Vec::with_capacity(pairs.len());
+    for (i, (read, reference)) in pairs.iter().enumerate() {
+        let lane_ok =
+            !read.is_empty() && read.len() == reference.len() && eligible_pair(read, reference);
+        if lane_ok {
+            eligible.push(i);
+        } else {
+            decisions[i] = fallback(read, reference);
+        }
+    }
+
+    // One scratch group and member array reused across every group in the
+    // block: the grouping loop itself never touches the allocator.
+    let mut group = SoaGroup::scratch();
+    let mut members: [(&[u8], &[u8]); SOA_LANES] = [(&[], &[]); SOA_LANES];
+    let mut start = 0;
+    while start < eligible.len() {
+        let len0 = pairs[eligible[start]].0.len();
+        let mut end = start + 1;
+        while end < eligible.len()
+            && end - start < SOA_LANES
+            && pairs[eligible[end]].0.len() == len0
+        {
+            end += 1;
+        }
+        for (slot, &i) in members.iter_mut().zip(eligible[start..end].iter()) {
+            *slot = pairs[i];
+        }
+        if group.encode_slices_into(&members[..end - start]) {
+            let lane_decisions = kernel(&group);
+            for (lane, &i) in eligible[start..end].iter().enumerate() {
+                decisions[i] = lane_decisions[lane];
+            }
+        } else {
+            for &i in &eligible[start..end] {
+                let (read, reference) = pairs[i];
+                decisions[i] = fallback(read, reference);
+            }
+        }
+        start = end;
+    }
+    decisions
+}
+
+/// True when every byte is an upper- or lowercase `A`/`C`/`G`/`T` call — the
+/// lane-eligibility alphabet of the 2-bit-packed kernels.
+pub(crate) fn lane_alphabet(seq: &[u8]) -> bool {
+    !has_undefined(seq)
+}
+
+/// True when every byte is an *uppercase* `A`/`C`/`G`/`T`. Shouji and
+/// SneakySnake compare raw ASCII bytes in their scalar sweeps ("`a` ≠ `A`"),
+/// so their lane kernels — which compare 2-bit codes and would equate the
+/// cases — only take pairs where the two comparisons provably agree.
+pub(crate) fn canonical_acgt(seq: &[u8]) -> bool {
+    seq.iter().all(|&b| matches!(b, b'A' | b'C' | b'G' | b'T'))
+}
+
 /// Filters a block of raw ASCII pairs, lane-parallel where possible.
 ///
 /// In lane mode, consecutive runs of lane-eligible pairs (defined, equal
@@ -409,55 +590,14 @@ pub fn gatekeeper_filter_block_slices(
     config: &GateKeeperConfig,
     mode: SimdMode,
 ) -> Vec<FilterDecision> {
-    if !mode.use_lanes() {
-        return pairs
-            .iter()
-            .map(|(read, reference)| scalar_pair_decision(read, reference, config, true))
-            .collect();
-    }
-
-    let mut decisions = vec![FilterDecision::accept(0); pairs.len()];
-    let mut eligible: Vec<usize> = Vec::with_capacity(pairs.len());
-    for (i, (read, reference)) in pairs.iter().enumerate() {
-        let lane_ok = !read.is_empty()
-            && read.len() == reference.len()
-            && !has_undefined(read)
-            && !has_undefined(reference);
-        if lane_ok {
-            eligible.push(i);
-        } else {
-            decisions[i] = scalar_pair_decision(read, reference, config, false);
-        }
-    }
-
-    let mut start = 0;
-    while start < eligible.len() {
-        let len0 = pairs[eligible[start]].0.len();
-        let mut end = start + 1;
-        while end < eligible.len()
-            && end - start < SOA_LANES
-            && pairs[eligible[end]].0.len() == len0
-        {
-            end += 1;
-        }
-        let members: Vec<(&[u8], &[u8])> = eligible[start..end].iter().map(|&i| pairs[i]).collect();
-        match SoaGroup::encode_slices(&members) {
-            Some(group) => {
-                let lane_decisions = gatekeeper_kernel_x4(&group, config);
-                for (lane, &i) in eligible[start..end].iter().enumerate() {
-                    decisions[i] = lane_decisions[lane];
-                }
-            }
-            None => {
-                for &i in &eligible[start..end] {
-                    let (read, reference) = pairs[i];
-                    decisions[i] = scalar_pair_decision(read, reference, config, false);
-                }
-            }
-        }
-        start = end;
-    }
-    decisions
+    filter_block_slices_with(
+        pairs,
+        mode,
+        |read, reference| lane_alphabet(read) && lane_alphabet(reference),
+        |group| gatekeeper_kernel_x4(group, config),
+        |read, reference| scalar_pair_decision(read, reference, config, false),
+        |read, reference| scalar_pair_decision(read, reference, config, true),
+    )
 }
 
 /// [`gatekeeper_filter_block_slices`] over owned [`SequencePair`]s.
@@ -585,6 +725,54 @@ mod tests {
         assert_eq!(SimdMode::Scalar.resolve(), SimdMode::Scalar);
         assert!(SimdMode::Lanes.use_lanes());
         assert!(!SimdMode::Scalar.use_lanes());
+    }
+
+    #[test]
+    fn env_value_classification_covers_every_spelling() {
+        assert_eq!(classify_env_value("scalar"), (SimdMode::Scalar, true));
+        assert_eq!(classify_env_value("SCALAR"), (SimdMode::Scalar, true));
+        assert_eq!(classify_env_value("lanes"), (SimdMode::Lanes, true));
+        assert_eq!(classify_env_value("simd"), (SimdMode::Lanes, true));
+        assert_eq!(classify_env_value("auto"), (SimdMode::Lanes, true));
+        assert_eq!(classify_env_value(""), (SimdMode::Lanes, true));
+        // Unrecognized values fall back to Lanes (flagged for the one-time
+        // warning) instead of being silently treated as "not scalar".
+        assert_eq!(classify_env_value("avx512"), (SimdMode::Lanes, false));
+        assert_eq!(classify_env_value("1"), (SimdMode::Lanes, false));
+        assert_eq!(classify_env_value("Scalar mode"), (SimdMode::Lanes, false));
+    }
+
+    #[test]
+    fn auto_resolution_falls_back_to_lanes_on_unrecognized_env() {
+        // Save/restore so the other tests in this binary see a consistent
+        // environment; every value set here resolves Auto to Lanes, which is
+        // also what an unset variable resolves to, so a concurrent Auto
+        // resolution cannot observe a different mode than it would otherwise.
+        let saved = std::env::var(SIMD_MODE_ENV).ok();
+        std::env::set_var(SIMD_MODE_ENV, "avx512");
+        assert_eq!(SimdMode::Auto.resolve(), SimdMode::Lanes);
+        std::env::set_var(SIMD_MODE_ENV, "LANES");
+        assert_eq!(SimdMode::Auto.resolve(), SimdMode::Lanes);
+        match saved {
+            Some(value) => std::env::set_var(SIMD_MODE_ENV, value),
+            None => std::env::remove_var(SIMD_MODE_ENV),
+        }
+    }
+
+    #[test]
+    fn lane_mask_retires_lanes_independently() {
+        let mut mask = LaneMask::active(3);
+        assert!(mask.any());
+        assert_eq!(mask.count(), 3);
+        assert!(mask.is_active(0) && mask.is_active(1) && mask.is_active(2));
+        assert!(!mask.is_active(3));
+        mask.retire(1);
+        assert!(mask.is_active(0) && !mask.is_active(1) && mask.is_active(2));
+        assert_eq!(mask.count(), 2);
+        mask.retire(0);
+        mask.retire(2);
+        assert!(!mask.any());
+        assert!(!LaneMask::active(0).any());
     }
 
     #[test]

@@ -11,18 +11,43 @@
 //! distance, which is why SneakySnake produces no false rejects and the fewest
 //! false accepts of all the filters compared in the paper.
 
+use crate::bitvec::{zero_run_length_in_words_reference, BaseMask};
+use crate::simd::{
+    build_mask_rows, canonical_acgt, filter_block_slices_with, set_range_rows, shl_rows, shr_rows,
+    LaneMask, LaneRow, SimdMode, LANE_BLOCK_PAIRS, WORD_BITS,
+};
 use crate::traits::{FilterDecision, PreAlignmentFilter};
+use gk_seq::pairs::{SequencePair, SoaGroup, SOA_LANES};
+use rayon::prelude::*;
 
 /// The SneakySnake pre-alignment filter.
 #[derive(Debug, Clone)]
 pub struct SneakySnakeFilter {
     threshold: u32,
+    simd: SimdMode,
 }
 
 impl SneakySnakeFilter {
-    /// Creates a SneakySnake filter for error threshold `e`.
+    /// Creates a SneakySnake filter for error threshold `e`. The SIMD mode is
+    /// resolved against `GK_SIMD` once, here — not per batch.
     pub fn new(threshold: u32) -> SneakySnakeFilter {
-        SneakySnakeFilter { threshold }
+        SneakySnakeFilter {
+            threshold,
+            simd: SimdMode::Auto.resolve(),
+        }
+    }
+
+    /// Selects the SIMD mode for `filter_batch` (resolved immediately; `Auto`
+    /// consults `GK_SIMD` now, not on the hot path). Decisions are
+    /// byte-identical across modes; only throughput changes.
+    pub fn with_simd_mode(mut self, simd: SimdMode) -> SneakySnakeFilter {
+        self.simd = simd.resolve();
+        self
+    }
+
+    /// The resolved SIMD mode this instance runs batches with.
+    pub fn simd_mode(&self) -> SimdMode {
+        self.simd
     }
 
     /// Length of the obstacle-free run starting at column `col` on diagonal `diag`
@@ -78,6 +103,227 @@ impl SneakySnakeFilter {
     }
 }
 
+/// Decision for one pair on the per-byte scalar path.
+pub fn sneaky_snake_pair_decision(read: &[u8], reference: &[u8], e: u32) -> FilterDecision {
+    let edits = SneakySnakeFilter::count_obstacles(read, reference, e);
+    if edits <= e {
+        FilterDecision::accept(edits)
+    } else {
+        FilterDecision::reject(edits)
+    }
+}
+
+/// Per-bit reference twin of [`sneaky_snake_pair_decision`] — the
+/// `SimdMode::Scalar` differential leg, mirroring the GateKeeper and MAGNET
+/// reference paths.
+///
+/// Materialises the full chip maze the paper describes (one obstacle
+/// [`BaseMask`] per in-band diagonal, built from the same raw ASCII
+/// comparisons as the per-byte walker, with out-of-range columns as
+/// obstacles) and runs the same greedy traversal probing every free run one
+/// bit at a time through [`zero_run_length_in_words_reference`]. Decisions
+/// are byte-identical to the per-byte walker and the lane kernel; only
+/// throughput differs.
+pub fn sneaky_snake_pair_decision_reference(
+    read: &[u8],
+    reference: &[u8],
+    e: u32,
+) -> FilterDecision {
+    let len = read.len().min(reference.len());
+    if len == 0 {
+        return FilterDecision::accept(0);
+    }
+    // Same band clamp as the per-byte walker: out-of-band diagonals are
+    // all-obstacle and contribute no runs.
+    let lo = -((e as usize).min(len - 1) as isize);
+    let hi = (e as usize).min(reference.len() - 1) as isize;
+    let maze: Vec<BaseMask> = (lo..=hi)
+        .map(|diag| {
+            BaseMask::from_bools((0..len).map(|col| {
+                let t = col as isize + diag;
+                t < 0 || t as usize >= reference.len() || read[col] != reference[t as usize]
+            }))
+        })
+        .collect();
+    let mut col = 0usize;
+    let mut edits = 0u32;
+    while col < len {
+        let mut best = 0usize;
+        for mask in &maze {
+            let run = zero_run_length_in_words_reference(mask.words(), col, len);
+            if run > best {
+                best = run;
+            }
+        }
+        col += best;
+        if col < len {
+            edits += 1;
+            col += 1;
+        }
+    }
+    if edits <= e {
+        FilterDecision::accept(edits)
+    } else {
+        FilterDecision::reject(edits)
+    }
+}
+
+/// The length of the zero run starting at `start` (clipped to `len`) in one
+/// lane's column of a row-major `[LaneRow]` mask — the strided twin of
+/// [`crate::bitvec::zero_run_length_in_words`], reading `rows[row][lane]` in
+/// place so the
+/// kernel never materialises per-lane word vectors.
+fn strided_zero_run(rows: &[LaneRow], lane: usize, start: usize, len: usize) -> usize {
+    let mut pos = start;
+    while pos < len {
+        let bit = pos % WORD_BITS;
+        let word = rows[pos / WORD_BITS][lane] >> bit;
+        if word != 0 {
+            return (pos + word.trailing_zeros() as usize).min(len) - start;
+        }
+        pos += WORD_BITS - bit;
+    }
+    len - start
+}
+
+/// Runs SneakySnake on all lanes of a struct-of-arrays group at once.
+/// Decisions of inactive lanes (`lane >= group.lanes`) are meaningless.
+///
+/// The `2·min(e, len−1) + 1` diagonal obstacle masks are built lane-parallel
+/// with the same row primitives as the other kernels; each free-run probe is
+/// then a whole-word trailing-zeros scan instead of a per-byte walk. The
+/// traversal itself is where lanes diverge — each snake reaches the last
+/// column after a different number of greedy steps — so the group steps
+/// round-major and retires finished lanes from a [`LaneMask`] while the rest
+/// keep walking.
+pub fn sneaky_snake_kernel_x4(group: &SoaGroup, e: u32) -> [FilterDecision; SOA_LANES] {
+    let len = group.len;
+    debug_assert!(len > 0, "SoaGroup guarantees a nonzero length");
+    let mask_rows = len.div_ceil(WORD_BITS);
+
+    // Equal-length lanes make the scalar path's asymmetric band clamps
+    // coincide: lo = −min(e, len−1), hi = +min(e, len−1).
+    let maxd = (e as usize).min(len - 1);
+
+    // All diagonal masks live in one flat row-major buffer (diagonal-major,
+    // `mask_rows` rows each); the traversal probes them in place through
+    // [`strided_zero_run`], so the whole group costs two mask allocations
+    // plus the memo below instead of per-diagonal and per-lane vectors.
+    let num_diags = 2 * maxd + 1;
+    let mut diag_masks = vec![[0u64; SOA_LANES]; num_diags * mask_rows];
+    let mut shifted = vec![[0u64; SOA_LANES]; group.ref_words.len()];
+    for (d_idx, rows) in diag_masks.chunks_exact_mut(mask_rows).enumerate() {
+        let d = d_idx as isize - maxd as isize;
+        // Diagonal d compares read[col] with ref[col + d]: shift the
+        // *reference* so position col + d lands at col, then force the
+        // out-of-range columns (t < 0 or t ≥ len) to obstacles — the shift
+        // vacates them with zero bits, i.e. 'A' codes that could falsely
+        // match.
+        let mismatch_rows: &[LaneRow] = if d == 0 {
+            &group.ref_words
+        } else if d > 0 {
+            shr_rows(&group.ref_words, 2 * d as usize, &mut shifted);
+            &shifted
+        } else {
+            shl_rows(&group.ref_words, 2 * (-d) as usize, &mut shifted);
+            &shifted
+        };
+        build_mask_rows(&group.read_words, mismatch_rows, len, rows);
+        if d > 0 {
+            set_range_rows(rows, len, len - d as usize, len);
+        } else if d < 0 {
+            set_range_rows(rows, len, 0, (-d) as usize);
+        }
+    }
+
+    let mut cols = [0usize; SOA_LANES];
+    let mut edits = [0u32; SOA_LANES];
+
+    // Round-major greedy traversal: every round advances each active snake by
+    // one greedy step (longest free run over the band, then one edit to cross
+    // the next obstacle). Each step advances the column by at least one, so
+    // the loop terminates after at most `len` rounds. Probes always rescan
+    // from the current column — a next-obstacle memo can never help here,
+    // because every step advances the column past the probed obstacle of
+    // *every* diagonal (the best run's obstacle is crossed, and all other
+    // runs are shorter still).
+    let mut active = LaneMask::active(group.lanes);
+    while active.any() {
+        for lane in 0..group.lanes {
+            if !active.is_active(lane) {
+                continue;
+            }
+            let col = cols[lane];
+            let mut best = 0usize;
+            for d_idx in 0..num_diags {
+                let rows = &diag_masks[d_idx * mask_rows..][..mask_rows];
+                let run = strided_zero_run(rows, lane, col, len);
+                if run > best {
+                    best = run;
+                }
+                if col + best >= len {
+                    break;
+                }
+            }
+            cols[lane] += best;
+            if cols[lane] < len {
+                // Crossing the obstacle in the next column costs one edit.
+                edits[lane] += 1;
+                cols[lane] += 1;
+            }
+            if cols[lane] >= len {
+                active.retire(lane);
+            }
+        }
+    }
+
+    let mut out = [FilterDecision::accept(0); SOA_LANES];
+    for (lane, &lane_edits) in edits.iter().enumerate().take(group.lanes) {
+        out[lane] = if lane_edits <= e {
+            FilterDecision::accept(lane_edits)
+        } else {
+            FilterDecision::reject(lane_edits)
+        };
+    }
+    out
+}
+
+/// Filters a block of raw ASCII pairs through SneakySnake, lane-parallel
+/// where possible. The scalar traversal compares raw ASCII bytes
+/// (`'a' ≠ 'A'`) while the lane kernel compares 2-bit codes, so lane
+/// eligibility is restricted to uppercase `ACGT` pairs where the two
+/// comparisons provably agree; everything else falls back to the per-byte
+/// path. In scalar mode every pair runs the per-bit reference twin
+/// ([`sneaky_snake_pair_decision_reference`]), mirroring the GateKeeper and
+/// MAGNET scalar legs. Output order matches input order.
+pub fn sneaky_snake_filter_block_slices(
+    pairs: &[(&[u8], &[u8])],
+    threshold: u32,
+    mode: SimdMode,
+) -> Vec<FilterDecision> {
+    filter_block_slices_with(
+        pairs,
+        mode,
+        |read, reference| canonical_acgt(read) && canonical_acgt(reference),
+        |group| sneaky_snake_kernel_x4(group, threshold),
+        |read, reference| sneaky_snake_pair_decision(read, reference, threshold),
+        |read, reference| sneaky_snake_pair_decision_reference(read, reference, threshold),
+    )
+}
+
+/// [`sneaky_snake_filter_block_slices`] over owned [`SequencePair`]s.
+pub fn sneaky_snake_filter_block(
+    pairs: &[SequencePair],
+    threshold: u32,
+    mode: SimdMode,
+) -> Vec<FilterDecision> {
+    let slices: Vec<(&[u8], &[u8])> = pairs
+        .iter()
+        .map(|p| (p.read.as_slice(), p.reference.as_slice()))
+        .collect();
+    sneaky_snake_filter_block_slices(&slices, threshold, mode)
+}
+
 impl PreAlignmentFilter for SneakySnakeFilter {
     fn name(&self) -> &str {
         "SneakySnake"
@@ -88,12 +334,14 @@ impl PreAlignmentFilter for SneakySnakeFilter {
     }
 
     fn filter_pair(&self, read: &[u8], reference: &[u8]) -> FilterDecision {
-        let edits = Self::count_obstacles(read, reference, self.threshold);
-        if edits <= self.threshold {
-            FilterDecision::accept(edits)
-        } else {
-            FilterDecision::reject(edits)
-        }
+        sneaky_snake_pair_decision(read, reference, self.threshold)
+    }
+
+    fn filter_batch(&self, pairs: &[SequencePair]) -> Vec<FilterDecision> {
+        pairs
+            .par_chunks(LANE_BLOCK_PAIRS)
+            .flat_map(|block| sneaky_snake_filter_block(block, self.threshold, self.simd))
+            .collect()
     }
 }
 
@@ -107,6 +355,39 @@ mod tests {
 
     fn random_seq(len: usize, rng: &mut StdRng) -> Vec<u8> {
         (0..len).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect()
+    }
+
+    /// Brute-force greedy traversal: enumerates the full `[-e, e]` band with
+    /// naive per-byte runs, no band clamp and no early break, so it shares no
+    /// shortcut with the production code. Callers keep `e` small enough for
+    /// the unclamped band to stay cheap.
+    fn brute_force_obstacles(read: &[u8], reference: &[u8], e: u32) -> u32 {
+        let len = read.len().min(reference.len());
+        let mut col = 0usize;
+        let mut edits = 0u32;
+        while col < len {
+            let mut best = 0usize;
+            for diag in -(e as i64)..=(e as i64) {
+                let mut run = 0usize;
+                while col + run < len {
+                    let t = (col + run) as i64 + diag;
+                    if t < 0
+                        || t as usize >= reference.len()
+                        || read[col + run] != reference[t as usize]
+                    {
+                        break;
+                    }
+                    run += 1;
+                }
+                best = best.max(run);
+            }
+            col += best;
+            if col < len {
+                edits += 1;
+                col += 1;
+            }
+        }
+        edits
     }
 
     #[test]
@@ -224,5 +505,211 @@ mod tests {
         let f = SneakySnakeFilter::new(3);
         assert_eq!(f.name(), "SneakySnake");
         assert_eq!(f.threshold(), 3);
+    }
+
+    /// Equivalence sweep for the traversal against the independent
+    /// brute-force scorer, with ragged lengths and e = 0 included.
+    #[test]
+    fn traversal_matches_brute_force_scorer() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for case in 0..400 {
+            let ref_len = rng.gen_range(1usize..=70);
+            let reference = random_seq(ref_len, &mut rng);
+            let read = if case % 3 == 0 {
+                random_seq(rng.gen_range(1usize..=70), &mut rng)
+            } else {
+                mutate_with_edits(&reference, rng.gen_range(0usize..8), 0.4, &mut rng)
+            };
+            let e = rng.gen_range(0u32..=12);
+            assert_eq!(
+                SneakySnakeFilter::count_obstacles(&read, &reference, e),
+                brute_force_obstacles(&read, &reference, e),
+                "read {} bp vs reference {} bp at e = {e}",
+                read.len(),
+                reference.len(),
+            );
+        }
+    }
+
+    /// Satellite regression for short reads (the lengths around Shouji's
+    /// window width double as the interesting snake lengths: the band clamp
+    /// `min(e, len−1)` and the first/last-column edge cases all trigger
+    /// here), pinned to the brute-force scorer.
+    #[test]
+    fn short_reads_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for len in [1usize, 3, 4, 5] {
+            for _ in 0..50 {
+                let reference = random_seq(len, &mut rng);
+                let read = mutate_with_edits(&reference, rng.gen_range(0..=len), 0.5, &mut rng);
+                for e in [0u32, 1, len.saturating_sub(1) as u32, len as u32] {
+                    assert_eq!(
+                        SneakySnakeFilter::count_obstacles(&read, &reference, e),
+                        brute_force_obstacles(&read, &reference, e),
+                        "len {len}, e = {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_x4_matches_per_pair_path_on_random_groups() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..200 {
+            let len = rng.gen_range(1usize..=200);
+            let e = rng.gen_range(0u32..=12);
+            let lanes = rng.gen_range(1usize..=SOA_LANES);
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..lanes)
+                .map(|_| {
+                    let reference = random_seq(len, &mut rng);
+                    let edits = rng.gen_range(0usize..=(e as usize + 4));
+                    let read = mutate_with_edits(&reference, edits, 0.3, &mut rng);
+                    (read, reference)
+                })
+                .collect();
+            let slices: Vec<(&[u8], &[u8])> = pairs
+                .iter()
+                .map(|(r, s)| (r.as_slice(), s.as_slice()))
+                .collect();
+            let group = SoaGroup::encode_slices(&slices).expect("lane-eligible group");
+            let lane_decisions = sneaky_snake_kernel_x4(&group, e);
+            for (lane, (read, reference)) in pairs.iter().enumerate() {
+                let expected = sneaky_snake_pair_decision(read, reference, e);
+                assert_eq!(
+                    lane_decisions[lane], expected,
+                    "len = {len}, e = {e}, lane = {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_x4_handles_word_boundary_lengths() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for len in [1usize, 3, 4, 5, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129] {
+            for e in [0u32, 1, 4, 40] {
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..SOA_LANES)
+                    .map(|_| {
+                        let reference = random_seq(len, &mut rng);
+                        let read =
+                            mutate_with_edits(&reference, rng.gen_range(0..=6), 0.3, &mut rng);
+                        (read, reference)
+                    })
+                    .collect();
+                let slices: Vec<(&[u8], &[u8])> = pairs
+                    .iter()
+                    .map(|(r, s)| (r.as_slice(), s.as_slice()))
+                    .collect();
+                let group = SoaGroup::encode_slices(&slices).unwrap();
+                let lane_decisions = sneaky_snake_kernel_x4(&group, e);
+                for (lane, (read, reference)) in pairs.iter().enumerate() {
+                    let expected = sneaky_snake_pair_decision(read, reference, e);
+                    assert_eq!(lane_decisions[lane], expected, "len = {len}, e = {e}");
+                }
+            }
+        }
+    }
+
+    /// The per-bit reference twin must match the per-byte production walker
+    /// byte-for-byte, including ragged lengths, non-canonical bytes (raw
+    /// ASCII semantics: `'a' ≠ 'A'`, `'N'` mismatches everything) and huge
+    /// thresholds that exercise the band clamp.
+    #[test]
+    fn per_byte_path_matches_its_per_bit_reference_twin() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for case in 0..400 {
+            let len = rng.gen_range(0usize..=96);
+            let e = if case % 17 == 0 {
+                u32::MAX
+            } else {
+                rng.gen_range(0u32..=8)
+            };
+            let reference = random_seq(len, &mut rng);
+            let mut read = if len == 0 {
+                Vec::new()
+            } else {
+                mutate_with_edits(&reference, rng.gen_range(0..=8), 0.3, &mut rng)
+            };
+            if case % 5 == 0 && !read.is_empty() {
+                let mid = read.len() / 2;
+                read[mid] = if case % 10 == 0 { b'N' } else { b'a' };
+            }
+            if case % 7 == 0 {
+                read.pop();
+            }
+            assert_eq!(
+                sneaky_snake_pair_decision(&read, &reference, e),
+                sneaky_snake_pair_decision_reference(&read, &reference, e),
+                "case {case}: len = {len}, e = {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_driver_matches_per_pair_decisions_with_mixed_pairs() {
+        // Mixed lengths, ragged pairs, empty pairs, and lowercase/N bases —
+        // the latter two must take the per-byte fallback because the scalar
+        // traversal is case-sensitive while the 2-bit lanes are not.
+        let mut rng = StdRng::seed_from_u64(43);
+        let e = 4u32;
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in 0..97 {
+            let len = match i % 5 {
+                0 | 1 => 100,
+                2 => 64,
+                3 => 33,
+                _ => 100,
+            };
+            let reference = random_seq(len, &mut rng);
+            let mut read = mutate_with_edits(&reference, rng.gen_range(0..8), 0.3, &mut rng);
+            if i % 7 == 0 {
+                read[len / 2] = read[len / 2].to_ascii_lowercase();
+            }
+            if i % 11 == 0 {
+                read[len / 3] = b'N';
+            }
+            if i % 13 == 0 {
+                read.pop();
+            }
+            pairs.push((read, reference));
+        }
+        pairs.push((Vec::new(), Vec::new()));
+        let slices: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(r, s)| (r.as_slice(), s.as_slice()))
+            .collect();
+        let expected: Vec<FilterDecision> = pairs
+            .iter()
+            .map(|(read, reference)| sneaky_snake_pair_decision(read, reference, e))
+            .collect();
+        let lanes = sneaky_snake_filter_block_slices(&slices, e, SimdMode::Lanes);
+        assert_eq!(lanes, expected);
+        let scalar = sneaky_snake_filter_block_slices(&slices, e, SimdMode::Scalar);
+        assert_eq!(scalar, expected);
+    }
+
+    #[test]
+    fn filter_batch_is_identical_across_simd_modes() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let batch: Vec<SequencePair> = (0..600)
+            .map(|_| {
+                let reference = random_seq(100, &mut rng);
+                let read = mutate_with_edits(&reference, rng.gen_range(0..10), 0.3, &mut rng);
+                SequencePair::new(read, reference)
+            })
+            .collect();
+        let filter = SneakySnakeFilter::new(5);
+        let lanes = filter
+            .clone()
+            .with_simd_mode(SimdMode::Lanes)
+            .filter_batch(&batch);
+        let scalar = filter.with_simd_mode(SimdMode::Scalar).filter_batch(&batch);
+        assert_eq!(lanes, scalar);
+        let per_pair: Vec<FilterDecision> = batch
+            .iter()
+            .map(|p| sneaky_snake_pair_decision(&p.read, &p.reference, 5))
+            .collect();
+        assert_eq!(lanes, per_pair);
     }
 }

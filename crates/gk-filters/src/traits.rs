@@ -47,6 +47,20 @@ impl FilterDecision {
     }
 }
 
+/// FNV-1a digest of a decision sequence — the oracle the differential
+/// SIMD == scalar sweeps and the `simd_speedup` acceptance bench compare:
+/// byte-identical decisions in identical order, nothing weaker.
+pub fn decision_digest(decisions: &[FilterDecision]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+    for d in decisions {
+        let word = (u64::from(d.estimated_edits) << 2)
+            | (u64::from(d.accepted) << 1)
+            | u64::from(d.undefined);
+        h = (h ^ word).wrapping_mul(0x0000_0100_0000_01b3); // FNV-1a prime
+    }
+    h
+}
+
 /// A pre-alignment filter: decides per pair whether expensive verification can be
 /// skipped. Implementations carry their error threshold.
 pub trait PreAlignmentFilter: Sync {
@@ -135,5 +149,20 @@ mod tests {
     #[test]
     fn count_accepted_with_reject_all_is_zero() {
         assert_eq!(RejectAll.count_accepted(&pairs(10)), 0);
+    }
+
+    #[test]
+    fn decision_digest_is_order_and_field_sensitive() {
+        let a = [FilterDecision::accept(1), FilterDecision::reject(2)];
+        let b = [FilterDecision::reject(2), FilterDecision::accept(1)];
+        assert_ne!(decision_digest(&a), decision_digest(&b));
+        let a_copy = a;
+        assert_eq!(decision_digest(&a), decision_digest(&a_copy));
+        assert_ne!(
+            decision_digest(&[FilterDecision::accept(0)]),
+            decision_digest(&[FilterDecision::undefined_pass()]),
+        );
+        // Empty input hashes to the FNV offset basis.
+        assert_eq!(decision_digest(&[]), 0xcbf2_9ce4_8422_2325);
     }
 }

@@ -141,6 +141,69 @@ pub fn xor_to_base_mask_reference(a: &[u32], b: &[u32], len: usize) -> BaseMask 
     mask
 }
 
+const NIBBLE_HI: u64 = 0x8888_8888_8888_8888;
+
+/// Per-nibble population counts: nibble `i` of the result holds the number of
+/// set bits (0..=4) in nibble `i` of `x`.
+///
+/// This is the first two halvings of the classic SWAR popcount, stopped at
+/// nibble granularity — Shouji's four-column windows line up exactly with the
+/// sixteen nibbles of a mask word, so one call scores sixteen windows of one
+/// diagonal at once.
+pub fn nibble_popcounts(x: u64) -> u64 {
+    let pairs = x - ((x >> 1) & 0x5555_5555_5555_5555);
+    (pairs & 0x3333_3333_3333_3333) + ((pairs >> 2) & 0x3333_3333_3333_3333)
+}
+
+/// Per-nibble reference for [`nibble_popcounts`], counting bit by bit.
+pub fn nibble_popcounts_reference(x: u64) -> u64 {
+    let mut out = 0u64;
+    for nibble in 0..16 {
+        let count = ((x >> (4 * nibble)) & 0xF).count_ones() as u64;
+        out |= count << (4 * nibble);
+    }
+    out
+}
+
+/// Per-nibble minimum of two words whose nibble values are all ≤ 7 (the high
+/// bit of every nibble clear — window scores of width ≤ 4 satisfy this).
+///
+/// Borrow trick: with the high bit pre-set on `a`, the per-nibble subtraction
+/// `(a | 8) - b` cannot borrow across nibbles, and its high bit survives
+/// exactly where `a ≥ b` — that bit is fanned out to an all-ones nibble mask
+/// selecting `b` (else `a`).
+pub fn nibble_min(a: u64, b: u64) -> u64 {
+    debug_assert!(a & NIBBLE_HI == 0 && b & NIBBLE_HI == 0);
+    let ge = ((a | NIBBLE_HI) - b) & NIBBLE_HI;
+    let sel = (ge >> 3) * 0xF;
+    (b & sel) | (a & !sel)
+}
+
+/// Per-nibble reference for [`nibble_min`], comparing nibble by nibble.
+pub fn nibble_min_reference(a: u64, b: u64) -> u64 {
+    let mut out = 0u64;
+    for nibble in 0..16 {
+        let na = (a >> (4 * nibble)) & 0xF;
+        let nb = (b >> (4 * nibble)) & 0xF;
+        out |= na.min(nb) << (4 * nibble);
+    }
+    out
+}
+
+/// Horizontal sum of all sixteen nibbles of `x` (each 0..=15; the total fits
+/// a byte, so the byte-fold multiply cannot overflow between lanes).
+pub fn sum_nibbles(x: u64) -> u32 {
+    let bytes = (x & 0x0F0F_0F0F_0F0F_0F0F) + ((x >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
+    (bytes.wrapping_mul(0x0101_0101_0101_0101) >> 56) as u32
+}
+
+/// Per-nibble reference for [`sum_nibbles`].
+pub fn sum_nibbles_reference(x: u64) -> u32 {
+    (0..16)
+        .map(|nibble| ((x >> (4 * nibble)) & 0xF) as u32)
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +295,57 @@ mod tests {
         let b = packed(b"ACGAACGTACGTACCTACGTACGTAAGTACGTACGTACGA");
         let mask = xor_to_base_mask(a.words(), b.words(), 40);
         assert_eq!(Some(mask.count_ones()), a.hamming_distance(&b));
+    }
+
+    #[test]
+    fn nibble_popcounts_match_reference_on_structured_and_random_words() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for x in [0u64, u64::MAX, 0x8000_0000_0000_0001, 0xF0F0_F0F0_F0F0_F0F0] {
+            assert_eq!(nibble_popcounts(x), nibble_popcounts_reference(x), "{x:#x}");
+        }
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen();
+            assert_eq!(nibble_popcounts(x), nibble_popcounts_reference(x), "{x:#x}");
+        }
+    }
+
+    #[test]
+    fn nibble_min_matches_reference_for_all_in_range_nibble_values() {
+        // Exhaustive over one nibble pair (the lanes are independent).
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                assert_eq!(nibble_min(a, b), a.min(b), "a = {a}, b = {b}");
+            }
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..10_000 {
+            // Random words with every nibble ≤ 7 (the documented precondition).
+            let a: u64 = rng.gen::<u64>() & !NIBBLE_HI;
+            let b: u64 = rng.gen::<u64>() & !NIBBLE_HI;
+            assert_eq!(
+                nibble_min(a, b),
+                nibble_min_reference(a, b),
+                "{a:#x} {b:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum_nibbles_matches_reference_including_saturated_words() {
+        assert_eq!(sum_nibbles(0), 0);
+        assert_eq!(sum_nibbles(u64::MAX), 16 * 15);
+        assert_eq!(sum_nibbles(0x1111_1111_1111_1111), 16);
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen();
+            assert_eq!(sum_nibbles(x), sum_nibbles_reference(x), "{x:#x}");
+        }
     }
 
     #[test]

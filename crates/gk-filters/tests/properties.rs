@@ -5,13 +5,21 @@
 //! the threshold (zero false rejects), for any read content, threshold, or edit mix.
 
 use gk_align::edit_distance;
-use gk_filters::bitvec::BaseMask;
+use gk_filters::bitvec::{
+    longest_zero_run_in_words, longest_zero_run_in_words_reference, zero_run_length_in_words,
+    zero_run_length_in_words_reference, BaseMask,
+};
 use gk_filters::gatekeeper::{gatekeeper_kernel, gatekeeper_kernel_reference, GateKeeperConfig};
 use gk_filters::simd::{gatekeeper_filter_block_slices, SimdMode};
 use gk_filters::words::{
-    shift_left_bases, shift_right_bases, xor_to_base_mask, xor_to_base_mask_reference,
+    nibble_min, nibble_min_reference, nibble_popcounts, nibble_popcounts_reference,
+    shift_left_bases, shift_right_bases, sum_nibbles, sum_nibbles_reference, xor_to_base_mask,
+    xor_to_base_mask_reference,
 };
 use gk_filters::{
+    decision_digest, magnet_filter_block_slices, magnet_kernel_x4, magnet_pair_decision,
+    shouji_filter_block_slices, shouji_kernel_x4, shouji_pair_decision,
+    sneaky_snake_filter_block_slices, sneaky_snake_kernel_x4, sneaky_snake_pair_decision,
     GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
     ShoujiFilter, SneakySnakeFilter,
 };
@@ -625,5 +633,167 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-parallel MAGNET / Shouji / SneakySnake: differential SIMD oracles
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every widened primitive the new kernels lean on agrees bit-for-bit with
+    /// its per-bit `_reference` twin over arbitrary words and clamped ranges.
+    #[test]
+    fn widened_primitives_match_reference_twins(
+        x in 0u64..=u64::MAX,
+        y in 0u64..=u64::MAX,
+        words in mask_words(),
+        start in 0usize..=300,
+        end in 0usize..=300,
+    ) {
+        prop_assert_eq!(nibble_popcounts(x), nibble_popcounts_reference(x));
+        prop_assert_eq!(sum_nibbles(x), sum_nibbles_reference(x));
+        // `nibble_min`'s precondition: every nibble <= 7.
+        let (a, b) = (x & 0x7777_7777_7777_7777, y & 0x7777_7777_7777_7777);
+        prop_assert_eq!(nibble_min(a, b), nibble_min_reference(a, b));
+        prop_assert_eq!(
+            longest_zero_run_in_words(&words, start, end),
+            longest_zero_run_in_words_reference(&words, start, end)
+        );
+        prop_assert_eq!(
+            zero_run_length_in_words(&words, start, end),
+            zero_run_length_in_words_reference(&words, start, end)
+        );
+    }
+
+    /// The three new 4-lane kernels reproduce their per-pair paths exactly on
+    /// random full and partial lane groups at every group length.
+    #[test]
+    fn new_lane_kernels_match_per_pair_decisions(
+        pairs in proptest::collection::vec((dna(96), dna(96)), 1..=4),
+        len in 1usize..=96,
+        e in 0u32..=8,
+    ) {
+        let cut: Vec<(Vec<u8>, Vec<u8>)> = pairs
+            .iter()
+            .map(|(r, f)| (r[..len].to_vec(), f[..len].to_vec()))
+            .collect();
+        let slices: Vec<(&[u8], &[u8])> = cut
+            .iter()
+            .map(|(r, f)| (r.as_slice(), f.as_slice()))
+            .collect();
+        let group = SoaGroup::encode_slices(&slices).expect("eligible group");
+        let magnet = magnet_kernel_x4(&group, e);
+        let shouji = shouji_kernel_x4(&group, e);
+        let snake = sneaky_snake_kernel_x4(&group, e);
+        for (lane, (read, reference)) in cut.iter().enumerate() {
+            prop_assert_eq!(
+                magnet[lane],
+                magnet_pair_decision(read, reference, e, false),
+                "magnet lane {}, len {}, e {}", lane, len, e
+            );
+            prop_assert_eq!(
+                shouji[lane],
+                shouji_pair_decision(read, reference, e),
+                "shouji lane {}, len {}, e {}", lane, len, e
+            );
+            prop_assert_eq!(
+                snake[lane],
+                sneaky_snake_pair_decision(read, reference, e),
+                "sneaky-snake lane {}, len {}, e {}", lane, len, e
+            );
+        }
+    }
+
+    /// Block drivers for the three new filters: lane mode and all-scalar mode
+    /// hand back digest-identical decision vectors over mixed batches — ragged
+    /// lengths, undefined (`N`) pairs, lowercase bases (which the byte-exact
+    /// Shouji/SneakySnake scalars treat as mismatches, forcing those pairs off
+    /// the lane path), and empty pairs.
+    #[test]
+    fn new_filter_block_drivers_match_across_modes(
+        raw in proptest::collection::vec(
+            (dna(96), dna(96), 0usize..=96, 0usize..=96, 0u8..=5),
+            0..24,
+        ),
+        e in 0u32..=8,
+    ) {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = raw
+            .into_iter()
+            .map(|(a, b, la, lb, tag)| {
+                let mut read = a[..la].to_vec();
+                let reference = b[..lb].to_vec();
+                if !read.is_empty() {
+                    let mid = read.len() / 2;
+                    if tag == 0 {
+                        read[mid] = b'N';
+                    } else if tag == 1 {
+                        read[mid] = read[mid].to_ascii_lowercase();
+                    }
+                }
+                (read, reference)
+            })
+            .collect();
+        let slices: Vec<(&[u8], &[u8])> = pairs
+            .iter()
+            .map(|(r, f)| (r.as_slice(), f.as_slice()))
+            .collect();
+
+        let m_lanes = magnet_filter_block_slices(&slices, e, SimdMode::Lanes);
+        let m_scalar = magnet_filter_block_slices(&slices, e, SimdMode::Scalar);
+        prop_assert_eq!(decision_digest(&m_lanes), decision_digest(&m_scalar));
+        prop_assert_eq!(m_lanes, m_scalar, "magnet, e = {}", e);
+
+        let sh_lanes = shouji_filter_block_slices(&slices, e, SimdMode::Lanes);
+        let sh_scalar = shouji_filter_block_slices(&slices, e, SimdMode::Scalar);
+        prop_assert_eq!(decision_digest(&sh_lanes), decision_digest(&sh_scalar));
+        prop_assert_eq!(sh_lanes, sh_scalar, "shouji, e = {}", e);
+
+        let sn_lanes = sneaky_snake_filter_block_slices(&slices, e, SimdMode::Lanes);
+        let sn_scalar = sneaky_snake_filter_block_slices(&slices, e, SimdMode::Scalar);
+        prop_assert_eq!(decision_digest(&sn_lanes), decision_digest(&sn_scalar));
+        prop_assert_eq!(sn_lanes, sn_scalar, "sneaky-snake, e = {}", e);
+    }
+
+    /// `SoaGroup` tail handling through the public `filter_batch` surface:
+    /// batch sizes that are not multiples of 4 — including the empty batch and
+    /// 1–3-pair partial groups — with maximal per-pair length spread produce
+    /// digest-identical decisions in lane and scalar mode for every widened
+    /// filter.
+    #[test]
+    fn tail_groups_and_length_spread_are_mode_invariant(
+        raw in proptest::collection::vec((dna(96), dna(96), 1usize..=96), 0..=11),
+        e in 0u32..=6,
+    ) {
+        let batch: Vec<SequencePair> = raw
+            .iter()
+            .map(|(r, f, len)| SequencePair::new(r[..*len].to_vec(), f[..*len].to_vec()))
+            .collect();
+
+        let magnet_lanes = MagnetFilter::new(e).with_simd_mode(SimdMode::Lanes);
+        let magnet_scalar = MagnetFilter::new(e).with_simd_mode(SimdMode::Scalar);
+        prop_assert_eq!(
+            decision_digest(&magnet_lanes.filter_batch(&batch)),
+            decision_digest(&magnet_scalar.filter_batch(&batch)),
+            "magnet, batch of {}", batch.len()
+        );
+
+        let shouji_lanes = ShoujiFilter::new(e).with_simd_mode(SimdMode::Lanes);
+        let shouji_scalar = ShoujiFilter::new(e).with_simd_mode(SimdMode::Scalar);
+        prop_assert_eq!(
+            decision_digest(&shouji_lanes.filter_batch(&batch)),
+            decision_digest(&shouji_scalar.filter_batch(&batch)),
+            "shouji, batch of {}", batch.len()
+        );
+
+        let snake_lanes = SneakySnakeFilter::new(e).with_simd_mode(SimdMode::Lanes);
+        let snake_scalar = SneakySnakeFilter::new(e).with_simd_mode(SimdMode::Scalar);
+        prop_assert_eq!(
+            decision_digest(&snake_lanes.filter_batch(&batch)),
+            decision_digest(&snake_scalar.filter_batch(&batch)),
+            "sneaky-snake, batch of {}", batch.len()
+        );
     }
 }

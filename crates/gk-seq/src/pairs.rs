@@ -168,35 +168,56 @@ impl SoaGroup {
 
     /// [`SoaGroup::encode`] over raw ASCII `(read, reference)` slices.
     pub fn encode_slices(pairs: &[(&[u8], &[u8])]) -> Option<SoaGroup> {
+        let mut group = SoaGroup::scratch();
+        group.encode_slices_into(pairs).then_some(group)
+    }
+
+    /// An empty placeholder group for buffer reuse with
+    /// [`SoaGroup::encode_slices_into`]. Not a valid group (`len == 0`,
+    /// `lanes == 0`) until an encode into it succeeds.
+    pub fn scratch() -> SoaGroup {
+        SoaGroup {
+            len: 0,
+            lanes: 0,
+            read_words: Vec::new(),
+            ref_words: Vec::new(),
+        }
+    }
+
+    /// Re-encodes `pairs` into `self`, reusing its row buffers — the hot-loop
+    /// twin of [`SoaGroup::encode_slices`] (block drivers encode one group per
+    /// four pairs; reuse keeps that off the allocator). Eligibility is
+    /// identical; returns `false` — leaving `self` unspecified — when the
+    /// group is not lane-eligible.
+    pub fn encode_slices_into(&mut self, pairs: &[(&[u8], &[u8])]) -> bool {
         let lanes = pairs.len();
         if lanes == 0 || lanes > SOA_LANES {
-            return None;
+            return false;
         }
         let len = pairs[0].0.len();
         if len == 0 {
-            return None;
+            return false;
         }
         for (read, reference) in pairs {
             if read.len() != len || reference.len() != len {
-                return None;
+                return false;
             }
             if has_undefined(read) || has_undefined(reference) {
-                return None;
+                return false;
             }
         }
         let rows = len.div_ceil(SOA_BASES_PER_WORD) + 1;
-        let mut read_words = vec![[0u64; SOA_LANES]; rows];
-        let mut ref_words = vec![[0u64; SOA_LANES]; rows];
+        self.len = len;
+        self.lanes = lanes;
+        self.read_words.clear();
+        self.read_words.resize(rows, [0u64; SOA_LANES]);
+        self.ref_words.clear();
+        self.ref_words.resize(rows, [0u64; SOA_LANES]);
         for (lane, (read, reference)) in pairs.iter().enumerate() {
-            pack_ascii_lane(read, lane, &mut read_words);
-            pack_ascii_lane(reference, lane, &mut ref_words);
+            pack_ascii_lane(read, lane, &mut self.read_words);
+            pack_ascii_lane(reference, lane, &mut self.ref_words);
         }
-        Some(SoaGroup {
-            len,
-            lanes,
-            read_words,
-            ref_words,
-        })
+        true
     }
 
     /// Transposes up to [`SOA_LANES`] already-packed pairs into the lane
@@ -241,12 +262,30 @@ impl SoaGroup {
     }
 }
 
-/// Packs one ASCII sequence into lane `lane` of the SoA rows.
+/// Compacts the 2-bit codes of eight ASCII bases (one little-endian `u64`
+/// load) into sixteen LSB-first bits: extract bits 1–2 of every byte, then
+/// fold the byte-stride fields down to 2-bit stride in three halving steps.
+#[inline]
+fn pack8_ascii(bytes: u64) -> u64 {
+    let x = (bytes >> 1) & 0x0303_0303_0303_0303;
+    let x = (x | (x >> 6)) & 0x000F_000F_000F_000F;
+    let x = (x | (x >> 12)) & 0x0000_00FF_0000_00FF;
+    (x | (x >> 24)) & 0xFFFF
+}
+
+/// Packs one ASCII sequence into lane `lane` of the SoA rows, eight bases per
+/// step on the aligned body and byte-at-a-time on the tail.
 fn pack_ascii_lane(seq: &[u8], lane: usize, rows: &mut [[u64; SOA_LANES]]) {
     for (row, chunk) in seq.chunks(SOA_BASES_PER_WORD).enumerate() {
         let mut word = 0u64;
-        for (i, &b) in chunk.iter().enumerate() {
-            word |= u64::from((b >> 1) & 3) << (2 * i);
+        let mut eights = chunk.chunks_exact(8);
+        for (i, eight) in eights.by_ref().enumerate() {
+            let bytes = u64::from_le_bytes(eight.try_into().expect("8-byte chunk"));
+            word |= pack8_ascii(bytes) << (16 * i);
+        }
+        let packed = chunk.len() / 8 * 8;
+        for (i, &b) in eights.remainder().iter().enumerate() {
+            word |= u64::from((b >> 1) & 3) << (2 * (packed + i));
         }
         rows[row][lane] = word;
     }

@@ -128,6 +128,62 @@ fn simd_lanes_and_scalar_fallback_are_byte_identical_end_to_end() {
 }
 
 #[test]
+fn widened_filters_are_digest_identical_across_modes_threads_and_env() {
+    // The lane-parallel MAGNET/Shouji/SneakySnake kernels inherit the
+    // GateKeeper contract: SIMD mode and thread count may only change
+    // throughput. Every (filter, mode, threads) combination must produce the
+    // same FNV decision digest, and a `GK_SIMD=scalar` environment must steer
+    // `Auto` construction onto the same decisions.
+    use gatekeeper_gpu::filters::{decision_digest, MagnetFilter, ShoujiFilter, SimdMode};
+
+    type MakeFilter = Box<dyn Fn(SimdMode) -> Box<dyn PreAlignmentFilter>>;
+    let make_filters = |e: u32| -> Vec<MakeFilter> {
+        vec![
+            Box::new(move |m| Box::new(MagnetFilter::new(e).with_simd_mode(m))),
+            Box::new(move |m| Box::new(ShoujiFilter::new(e).with_simd_mode(m))),
+            Box::new(move |m| Box::new(SneakySnakeFilter::new(e).with_simd_mode(m))),
+        ]
+    };
+    for seed in SEEDS {
+        let mut profile = DatasetProfile::set3();
+        profile.undefined_fraction = 0.05;
+        let pairs = profile.generate(1_200, seed);
+        for e in [0u32, 4] {
+            for make in make_filters(e) {
+                let filter = make(SimdMode::Scalar);
+                let scalar = sequential(|| filter.filter_batch(&pairs.pairs));
+                let scalar_digest = decision_digest(&scalar);
+                for threads in [1usize, 4] {
+                    let lanes = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .expect("lane pool")
+                        .install(|| make(SimdMode::Lanes).filter_batch(&pairs.pairs));
+                    assert_eq!(
+                        decision_digest(&lanes),
+                        scalar_digest,
+                        "{}: seed {seed}, e = {e}, threads {threads}",
+                        filter.name()
+                    );
+                    assert_eq!(lanes, scalar, "{}: seed {seed}, e = {e}", filter.name());
+                }
+                // GK_SIMD=scalar leg: Auto resolves against the environment at
+                // construction, and the resulting run stays digest-identical.
+                std::env::set_var("GK_SIMD", "scalar");
+                let from_env = make(SimdMode::Auto);
+                std::env::remove_var("GK_SIMD");
+                assert_eq!(
+                    decision_digest(&from_env.filter_batch(&pairs.pairs)),
+                    scalar_digest,
+                    "{}: seed {seed}, e = {e}, GK_SIMD=scalar",
+                    filter.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn accuracy_sweep_is_identical_to_sequential() {
     for seed in SEEDS {
         let mut profile = DatasetProfile::low_edit(100);
