@@ -15,9 +15,14 @@
 //!   `encode_pair_batch`;
 //! * `--scalar` — force the per-bit scalar reference kernels on the CPU rows
 //!   (same effect as `GK_SIMD=scalar`, but per invocation);
+//! * `--topology KIND` — interconnect wiring for multi-GPU runs
+//!   (`private`, `shared`, `switch[:N]`, `nvlink`);
+//! * `--aware` — turn on the topology-aware multi-GPU scheduler;
 //! * `--full` — run the complete sweep instead of the representative subset;
 //! * `--mapper-profiles` / `--extra-sets` — experiment-specific extensions;
 //! * `--help` / `-h` — print the flag reference and exit.
+
+use gk_gpusim::topology::TopologyKind;
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, Default)]
@@ -26,6 +31,10 @@ pub struct HarnessArgs {
     reads: Option<usize>,
     genome: Option<usize>,
     chunk: Option<usize>,
+    topology: Option<TopologyKind>,
+    /// Turn the topology-aware multi-GPU scheduler on (weighted shares,
+    /// per-device encoding actor, contention-sized chunks).
+    pub aware: bool,
     /// Run the full sweep rather than the representative subset.
     pub full: bool,
     /// Disable stream overlap in the GPU batch pipeline.
@@ -72,6 +81,10 @@ impl HarnessArgs {
          \x20                    zero host encode time); default is host encoding\n\
          \x20 --scalar           force the per-bit scalar reference kernels on the CPU\n\
          \x20                    rows (same as GK_SIMD=scalar; decisions are identical)\n\
+         \x20 --topology KIND    interconnect wiring for multi-GPU runs:\n\
+         \x20                    private (default), shared, switch[:N], nvlink\n\
+         \x20 --aware            topology-aware multi-GPU scheduler (weighted shares,\n\
+         \x20                    per-device encoding actor, contention-sized chunks)\n\
          \x20 --full             run the complete sweep / paper-sized input\n\
          \x20 --mapper-profiles  include the Minimap2/BWA-MEM candidate profiles\n\
          \x20 --extra-sets       include the additional real-set rows\n\
@@ -92,6 +105,12 @@ impl HarnessArgs {
                 "--reads" => parsed.reads = iter.next().and_then(|v| v.parse().ok()),
                 "--genome" => parsed.genome = iter.next().and_then(|v| v.parse().ok()),
                 "--chunk" => parsed.chunk = iter.next().and_then(|v| v.parse().ok()),
+                "--topology" => match iter.next().map(|v| v.parse::<TopologyKind>()) {
+                    Some(Ok(kind)) => parsed.topology = Some(kind),
+                    Some(Err(err)) => eprintln!("warning: {err}"),
+                    None => eprintln!("warning: --topology needs a value"),
+                },
+                "--aware" => parsed.aware = true,
                 "--serialized" => parsed.serialized = true,
                 "--host-serial" => parsed.host_serial = true,
                 "--device-encode" => parsed.device_encode = true,
@@ -123,6 +142,12 @@ impl HarnessArgs {
     /// Pipeline chunk size in pairs, defaulting to `default` (0 = auto-size).
     pub fn chunk(&self, default: usize) -> usize {
         self.chunk.unwrap_or(default)
+    }
+
+    /// The interconnect topology for multi-GPU runs, defaulting to private
+    /// links (the paper's implicit assumption).
+    pub fn topology(&self) -> TopologyKind {
+        self.topology.unwrap_or_default()
     }
 
     /// SIMD mode for the CPU harness rows: the per-bit scalar reference with
@@ -199,6 +224,8 @@ mod tests {
             "--host-serial",
             "--device-encode",
             "--scalar",
+            "--topology",
+            "--aware",
             "--full",
             "--mapper-profiles",
             "--extra-sets",
@@ -206,6 +233,24 @@ mod tests {
         ] {
             assert!(usage.contains(flag), "usage is missing {flag}");
         }
+    }
+
+    #[test]
+    fn topology_flag_parses_every_spelling() {
+        let shared = HarnessArgs::parse_from(vec!["--topology".into(), "shared".into()]);
+        assert_eq!(shared.topology(), TopologyKind::SharedRoot);
+        let switch = HarnessArgs::parse_from(vec!["--topology".into(), "switch:2".into()]);
+        assert_eq!(switch.topology(), TopologyKind::Switch { fanout: 2 });
+        // Default and malformed values fall back to private links.
+        assert_eq!(
+            HarnessArgs::parse_from(vec![]).topology(),
+            TopologyKind::Independent
+        );
+        let bad = HarnessArgs::parse_from(vec!["--topology".into(), "bogus".into()]);
+        assert_eq!(bad.topology(), TopologyKind::Independent);
+        assert!(!bad.aware);
+        let aware = HarnessArgs::parse_from(vec!["--aware".into()]);
+        assert!(aware.aware);
     }
 
     #[test]

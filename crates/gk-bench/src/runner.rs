@@ -4,10 +4,11 @@ use crate::setups::Setup;
 use gk_core::config::{EncodingActor, FilterConfig};
 use gk_core::cpu::GateKeeperCpu;
 use gk_core::gpu::GateKeeperGpu;
-use gk_core::multi_gpu::MultiGpuGateKeeper;
+use gk_core::multi_gpu::{MultiGpuGateKeeper, MultiGpuRun};
 use gk_core::pipeline::StreamFilterRun;
 use gk_core::timing::billions_in_40_minutes;
 use gk_filters::SimdMode;
+use gk_gpusim::topology::TopologyKind;
 use gk_seq::pairs::PairSet;
 use gk_seq::stream::PairBatches;
 use serde::{Deserialize, Serialize};
@@ -94,6 +95,26 @@ pub fn gpu_throughput(
         let run = MultiGpuGateKeeper::new(setup.device(), devices, config).filter_set(set);
         ThroughputPoint::new(set.len(), run.kernel_seconds, run.filter_seconds)
     }
+}
+
+/// Runs GateKeeper-GPU over a set on `devices` GPUs of a setup under an
+/// explicit interconnect topology and scheduler, returning the full run —
+/// decisions, per-device pipelines, and the contended-vs-private replay in
+/// [`MultiGpuRun::interconnect`].
+pub fn multi_gpu_run(
+    setup: &Setup,
+    devices: usize,
+    set: &PairSet,
+    threshold: u32,
+    encoding: EncodingActor,
+    topology: TopologyKind,
+    aware: bool,
+) -> MultiGpuRun {
+    let config = FilterConfig::new(set.read_len, threshold)
+        .with_encoding(encoding)
+        .with_topology(topology)
+        .with_topology_aware(aware);
+    MultiGpuGateKeeper::new(setup.device(), devices, config).filter_set(set)
 }
 
 /// Runs the multicore GateKeeper-CPU baseline over a set, on the shared pool
@@ -221,6 +242,33 @@ mod tests {
         let one = gpu_throughput(&SETUP1, 1, &set, 2, EncodingActor::Host);
         let eight = gpu_throughput(&SETUP1, 8, &set, 2, EncodingActor::Host);
         assert!(eight.kernel_b40 > one.kernel_b40);
+    }
+
+    #[test]
+    fn multi_gpu_run_reports_contention_on_a_shared_root() {
+        let set = throughput_set(100, 2_000);
+        let naive = multi_gpu_run(
+            &SETUP1,
+            4,
+            &set,
+            2,
+            EncodingActor::Device,
+            TopologyKind::SharedRoot,
+            false,
+        );
+        let aware = multi_gpu_run(
+            &SETUP1,
+            4,
+            &set,
+            2,
+            EncodingActor::Device,
+            TopologyKind::SharedRoot,
+            true,
+        );
+        assert_eq!(naive.decisions, aware.decisions);
+        assert!(naive.interconnect.contention_penalty_seconds() > 0.0);
+        assert!(!naive.interconnect.aware);
+        assert!(aware.interconnect.aware);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use gk_filters::SimdMode;
 use gk_gpusim::device::DeviceSpec;
 use gk_gpusim::executor::LaunchConfig;
+use gk_gpusim::topology::TopologyKind;
 use gk_seq::packed::BASES_PER_WORD;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,19 @@ pub struct FilterConfig {
     /// consults the `GK_SIMD` environment variable. Decisions are
     /// byte-identical across modes.
     pub simd: SimdMode,
+    /// How the devices of a multi-GPU run attach to the host interconnect
+    /// (private links, one shared root complex, PCIe-switch groups, or an
+    /// NVLink-style fabric). Drives the contention replay of
+    /// `gk_gpusim::topology::simulate_contended`; decisions are byte-identical
+    /// across topologies.
+    pub topology: TopologyKind,
+    /// Let the multi-GPU sharder exploit the topology: contiguous per-device
+    /// shares weighted by each device's effective link bandwidth, per-device
+    /// encoding-actor selection, and contention-aware chunk sizing (smaller
+    /// chunks on shared links so transfers interleave under host prep).
+    /// `false` keeps the round-robin equal split of §3.1. Decisions are
+    /// byte-identical either way; only the modelled makespan moves.
+    pub topology_aware: bool,
 }
 
 impl FilterConfig {
@@ -79,6 +93,8 @@ impl FilterConfig {
             chunk_pairs: 0,
             host_prefetch: false,
             simd: SimdMode::Auto,
+            topology: TopologyKind::Independent,
+            topology_aware: false,
         }
     }
 
@@ -141,6 +157,19 @@ impl FilterConfig {
     /// or environment-driven `Auto`).
     pub fn with_simd_mode(mut self, simd: SimdMode) -> FilterConfig {
         self.simd = simd;
+        self
+    }
+
+    /// Selects the interconnect topology the multi-GPU devices hang off.
+    pub fn with_topology(mut self, topology: TopologyKind) -> FilterConfig {
+        self.topology = topology;
+        self
+    }
+
+    /// Enables or disables topology-aware multi-GPU scheduling (weighted
+    /// shares, per-device encoding selection, contention-aware chunks).
+    pub fn with_topology_aware(mut self, aware: bool) -> FilterConfig {
+        self.topology_aware = aware;
         self
     }
 
@@ -257,6 +286,24 @@ mod tests {
                 .with_simd_mode(SimdMode::Scalar)
                 .simd,
             SimdMode::Scalar
+        );
+    }
+
+    #[test]
+    fn topology_knobs_default_to_the_paper_assumption_and_apply() {
+        let defaults = FilterConfig::new(100, 4);
+        assert_eq!(defaults.topology, TopologyKind::Independent);
+        assert!(!defaults.topology_aware);
+        let config = FilterConfig::new(100, 4)
+            .with_topology(TopologyKind::SharedRoot)
+            .with_topology_aware(true);
+        assert_eq!(config.topology, TopologyKind::SharedRoot);
+        assert!(config.topology_aware);
+        assert_eq!(
+            FilterConfig::new(100, 4)
+                .with_topology(TopologyKind::Switch { fanout: 2 })
+                .topology,
+            TopologyKind::Switch { fanout: 2 }
         );
     }
 

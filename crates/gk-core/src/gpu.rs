@@ -56,10 +56,11 @@ use gk_filters::simd::{gatekeeper_filter_block_packed, gatekeeper_filter_block_s
 use gk_filters::traits::{FilterDecision, PreAlignmentFilter};
 use gk_gpusim::device::DeviceSpec;
 use gk_gpusim::executor::{launch_kernel, KernelResources, ThreadReport};
-use gk_gpusim::memory::{MemAdvise, MemoryStats, UnifiedMemory};
+use gk_gpusim::memory::{MemAdvise, MemoryStats, UnifiedMemory, PAGE_SIZE};
 use gk_gpusim::power::PowerReport;
 use gk_gpusim::profiler::Profiler;
 use gk_gpusim::stream::Stream;
+use gk_gpusim::topology::ChunkLoad;
 use gk_seq::pairs::{encode_pair_batch, PairSet, SequencePair};
 use gk_seq::raw::{RawPairBatch, RawPairSlice};
 use gk_seq::PackedSeq;
@@ -69,16 +70,18 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Host-side buffer preparation cost per pair (gathering reads and candidate
-/// indices into the transfer buffers, §3.5).
-const HOST_PREP_SECONDS_PER_PAIR: f64 = 3.0e-7;
+/// indices into the transfer buffers, §3.5). `pub(crate)` so the topology-aware
+/// multi-GPU scheduler can estimate per-device service rates from the same
+/// constants the pipeline charges.
+pub(crate) const HOST_PREP_SECONDS_PER_PAIR: f64 = 3.0e-7;
 /// Host 2-bit encoding throughput in bases per second (multithreaded host encode).
-const HOST_ENCODE_BASES_PER_SECOND: f64 = 2.0e8;
+pub(crate) const HOST_ENCODE_BASES_PER_SECOND: f64 = 2.0e8;
 /// Fixed kernel-launch overhead per batch.
-const KERNEL_LAUNCH_OVERHEAD_S: f64 = 10e-6;
+pub(crate) const KERNEL_LAUNCH_OVERHEAD_S: f64 = 10e-6;
 /// Modelled device cycles: fixed cost per filtration.
-const CYCLES_BASE: u64 = 2_000;
+pub(crate) const CYCLES_BASE: u64 = 2_000;
 /// Modelled device cycles per (mask × word) of bitwise work.
-const CYCLES_PER_MASK_WORD: u64 = 1_000;
+pub(crate) const CYCLES_PER_MASK_WORD: u64 = 1_000;
 /// Modelled device cycles consumed by a thread that passes an undefined pair.
 const CYCLES_UNDEFINED: u64 = 300;
 /// Extra data-dependent cycles per estimated edit (amendment/counting divergence).
@@ -112,6 +115,15 @@ pub struct FilterRun {
     pub power: Option<PowerReport>,
     /// Overlapped-versus-serialized pipeline accounting for the run.
     pub pipeline: PipelineReport,
+    /// Per-chunk modelled durations and link traffic, in pipeline order — the
+    /// currency the multi-GPU contention replay
+    /// (`gk_gpusim::topology::simulate_contended`) re-executes on a shared
+    /// interconnect. `h2d_bytes` carries the page-rounded per-buffer prefetch
+    /// traffic (zero on prefetch-less devices, whose migration cost is already
+    /// inside `kernel_seconds` as page faults), so replaying a load on a
+    /// private link at this device's PCIe rate reproduces the chunk's stage
+    /// durations bit-for-bit.
+    pub chunk_loads: Vec<ChunkLoad>,
 }
 
 impl FilterRun {
@@ -261,7 +273,18 @@ impl GateKeeperGpu {
         let mut prefetch_stream_reads = Stream::new("prefetch-reads");
         let mut prefetch_stream_refs = Stream::new("prefetch-refs");
         let mut prefetch_seconds = 0.0;
+        // Per-buffer page-rounded prefetch traffic, captured for the multi-GPU
+        // contention replay. The buffers are freshly allocated fully
+        // host-resident, so each prefetch moves exactly `page_count` pages —
+        // the byte counts reproduce `t_reads`/`t_refs` exactly under
+        // `PcieLink::transfer_seconds`. Prefetch-less devices move nothing
+        // here; their fault traffic is already folded into the kernel stage.
+        let mut h2d_bytes = [0u64; 2];
         if self.device.supports_prefetch() {
+            for (slot, buffer) in [reads_buffer, refs_buffer].into_iter().enumerate() {
+                h2d_bytes[slot] = memory.buffer(buffer).expect("valid buffer").page_count() as u64
+                    * PAGE_SIZE as u64;
+            }
             let t_reads = memory
                 .prefetch_to_device(reads_buffer)
                 .expect("valid buffer");
@@ -376,6 +399,14 @@ impl GateKeeperGpu {
         );
 
         // Stage 3 (D2H): the host reads the result buffer back for verification.
+        // Only device-resident pages migrate back, so the byte count mirrors
+        // the modelled read-back time exactly (zero while the result buffer
+        // stays host-resident end to end, the current unified-memory quirk).
+        let d2h_bytes = memory
+            .buffer(results_buffer)
+            .expect("valid buffer")
+            .device_resident_pages() as u64
+            * PAGE_SIZE as u64;
         let readback_seconds = memory
             .access_from_host(results_buffer)
             .expect("valid buffer");
@@ -383,10 +414,12 @@ impl GateKeeperGpu {
         DeviceOutcome {
             decisions,
             prefetch_seconds,
+            h2d_bytes,
             fault_seconds,
             kernel_seconds,
             encode_device_seconds,
             readback_seconds,
+            d2h_bytes,
         }
     }
 
@@ -464,11 +497,16 @@ impl GateKeeperGpu {
 struct DeviceOutcome {
     decisions: Vec<FilterDecision>,
     prefetch_seconds: f64,
+    /// Page-rounded prefetch bytes per input buffer (reads, refs); zero on
+    /// prefetch-less devices.
+    h2d_bytes: [u64; 2],
     fault_seconds: f64,
     kernel_seconds: f64,
     /// In-kernel encode share of `kernel_seconds` (fused kernel only).
     encode_device_seconds: f64,
     readback_seconds: f64,
+    /// Page-rounded result-buffer bytes migrating back to the host.
+    d2h_bytes: u64,
 }
 
 /// Owned output of one chunk's prep stage — what travels through the prefetch
@@ -555,6 +593,9 @@ struct PipelineEngine<'g> {
     profiler: Profiler,
     schedule: PipelineSchedule,
     timing: TimingBreakdown,
+    /// One [`ChunkLoad`] per completed chunk, in pipeline order, for the
+    /// multi-GPU contention replay.
+    chunk_loads: Vec<ChunkLoad>,
     /// True when the engine actually dispatches encode tasks to the pool
     /// (knob on *and* the pool is parallel — under `RAYON_NUM_THREADS=1` the
     /// engine keeps today's serial path).
@@ -572,6 +613,7 @@ impl<'g> PipelineEngine<'g> {
             profiler: Profiler::new(gpu.device.clone()),
             schedule: PipelineSchedule::new(),
             timing: TimingBreakdown::default(),
+            chunk_loads: Vec::new(),
             prefetch: gpu.config.host_prefetch && rayon::current_num_threads() > 1,
             pending: VecDeque::with_capacity(PREFETCH_IN_FLIGHT),
             wall_start: Instant::now(),
@@ -704,6 +746,12 @@ impl<'g> PipelineEngine<'g> {
             d2h_seconds: device.readback_seconds,
         };
         self.schedule.record_chunk(&stages);
+        self.chunk_loads.push(ChunkLoad {
+            host_seconds: host_prep_seconds + encode_seconds,
+            h2d_bytes: device.h2d_bytes,
+            kernel_seconds: device.fault_seconds + device.kernel_seconds,
+            d2h_bytes: device.d2h_bytes,
+        });
         self.timing.host_prep_seconds += host_prep_seconds;
         self.timing.encode_seconds += encode_seconds;
         self.timing.encode_device_seconds += device.encode_device_seconds;
@@ -713,7 +761,14 @@ impl<'g> PipelineEngine<'g> {
         sink(pairs, device.decisions);
     }
 
-    fn finish(mut self) -> (TimingBreakdown, PipelineReport, RunAggregates) {
+    fn finish(
+        mut self,
+    ) -> (
+        TimingBreakdown,
+        PipelineReport,
+        RunAggregates,
+        Vec<ChunkLoad>,
+    ) {
         debug_assert!(
             self.pending.is_empty(),
             "pipeline engine finished with encode tasks still in flight"
@@ -743,11 +798,11 @@ impl<'g> PipelineEngine<'g> {
             sm_efficiency: self.profiler.average_sm_efficiency(),
             power: self.profiler.aggregate_power(),
         };
-        (self.timing, report, aggregates)
+        (self.timing, report, aggregates, self.chunk_loads)
     }
 
     fn into_run(self, decisions: Vec<FilterDecision>) -> FilterRun {
-        let (timing, pipeline, agg) = self.finish();
+        let (timing, pipeline, agg, chunk_loads) = self.finish();
         FilterRun {
             decisions,
             timing,
@@ -759,11 +814,14 @@ impl<'g> PipelineEngine<'g> {
             sm_efficiency: agg.sm_efficiency,
             power: agg.power,
             pipeline,
+            chunk_loads,
         }
     }
 
     fn into_stream_run(self, pairs: usize, accepted: usize, undefined: usize) -> StreamFilterRun {
-        let (timing, pipeline, agg) = self.finish();
+        // The per-chunk loads are dropped here on purpose: the streaming entry
+        // point promises bounded memory regardless of stream length.
+        let (timing, pipeline, agg, _) = self.finish();
         StreamFilterRun {
             pairs,
             accepted,
@@ -1155,6 +1213,42 @@ mod tests {
         assert_eq!(streamed_decisions, materialized.decisions);
         assert_eq!(streamed.accepted, materialized.accepted());
         assert_eq!(streamed.pipeline.timing_anomalies, 0);
+    }
+
+    #[test]
+    fn chunk_loads_mirror_the_run_accounting() {
+        let set = pairs(2_000);
+        let run =
+            GateKeeperGpu::with_default_device(FilterConfig::new(100, 4).with_chunk_pairs(600))
+                .filter_set(&set);
+        assert_eq!(run.chunk_loads.len(), run.batches);
+        // Host stage and kernel stage re-aggregate exactly from the loads.
+        let host: f64 = run.chunk_loads.iter().map(|l| l.host_seconds).sum();
+        assert!((host - run.timing.host_prep_seconds - run.timing.encode_seconds).abs() < 1e-15);
+        let kernel: f64 = run.chunk_loads.iter().map(|l| l.kernel_seconds).sum();
+        // Pascal prefetches, so no fault time hides in the kernel stage.
+        assert!((kernel - run.timing.kernel_seconds).abs() < 1e-15);
+        // The captured H2D bytes are the prefetched pages, buffer by buffer.
+        let h2d: u64 = run.chunk_loads.iter().map(|l| l.total_h2d_bytes()).sum();
+        assert_eq!(h2d, run.memory_stats.bytes_to_device);
+        assert!(run.chunk_loads.iter().all(|l| l.h2d_bytes[0] > 0));
+        // The result buffer never becomes device-resident, so nothing
+        // migrates back (the unified-memory quirk the field keeps visible).
+        let d2h: u64 = run.chunk_loads.iter().map(|l| l.d2h_bytes).sum();
+        assert_eq!(d2h, run.memory_stats.bytes_to_host);
+    }
+
+    #[test]
+    fn kepler_chunk_loads_fold_migration_into_the_kernel_stage() {
+        let set = pairs(1_000);
+        let run = GateKeeperGpu::new(DeviceSpec::tesla_k20x(), FilterConfig::new(100, 4))
+            .filter_set(&set);
+        // No prefetch path on Kepler: the loads carry no H2D bytes, and the
+        // fault-driven migration cost sits inside the kernel stage instead.
+        assert!(run.chunk_loads.iter().all(|l| l.total_h2d_bytes() == 0));
+        let kernel: f64 = run.chunk_loads.iter().map(|l| l.kernel_seconds).sum();
+        assert!(kernel > run.timing.kernel_seconds);
+        assert!((kernel - run.timing.kernel_seconds - run.timing.transfer_seconds).abs() < 1e-15);
     }
 
     #[test]

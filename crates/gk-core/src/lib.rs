@@ -34,6 +34,8 @@ pub mod timing;
 pub use config::{EncodingActor, FilterConfig, SystemConfig};
 pub use cpu::{CpuFilterRun, GateKeeperCpu};
 pub use gpu::{FilterRun, GateKeeperGpu};
-pub use multi_gpu::MultiGpuGateKeeper;
-pub use pipeline::{ChunkPlan, PipelineReport, PipelineSchedule, StreamFilterRun};
-pub use timing::{billions_in_40_minutes, pairs_per_second, TimingBreakdown};
+pub use multi_gpu::{DeviceAssignment, MultiGpuGateKeeper, MultiGpuRun, MultiGpuSchedule};
+pub use pipeline::{
+    ChunkPlan, PipelineReport, PipelineSchedule, StreamFilterRun, MIN_CONTENDED_CHUNK_PAIRS,
+};
+pub use timing::{billions_in_40_minutes, pairs_per_second, InterconnectReport, TimingBreakdown};

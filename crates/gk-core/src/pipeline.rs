@@ -46,6 +46,11 @@ pub const BUFFER_SLOTS: usize = 3;
 /// which holds no encoded input).
 pub const PREFETCH_IN_FLIGHT: usize = BUFFER_SLOTS - 1;
 
+/// Smallest chunk the contention-aware refinement will shrink to: below a few
+/// hundred pairs the fixed kernel-launch overhead starts to dominate whatever
+/// the finer transfer interleaving saves on the shared link.
+pub const MIN_CONTENDED_CHUNK_PAIRS: usize = 256;
+
 /// How a pair set is cut into pipeline chunks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChunkPlan {
@@ -79,6 +84,25 @@ impl ChunkPlan {
             capacity
         };
         ChunkPlan { chunk_pairs }
+    }
+
+    /// Contention-aware refinement: divides the chunk size by the number of
+    /// devices sharing this device's host link (from
+    /// `gk_gpusim::topology::Topology::sharers`), floored at
+    /// [`MIN_CONTENDED_CHUNK_PAIRS`]. One huge chunk per device makes every
+    /// sharer's upload collide in a single serialized burst after the host
+    /// prep; `sharers`-times-finer chunks let each device's transfer slip into
+    /// the link gaps the other devices' host-prep stages leave open, which is
+    /// what buys the topology-aware schedule its makespan win on shared links.
+    /// A no-op for `sharers <= 1` (private links keep the resolved size).
+    pub fn with_link_sharers(mut self, sharers: usize) -> ChunkPlan {
+        if sharers > 1 {
+            self.chunk_pairs = (self.chunk_pairs / sharers)
+                .max(MIN_CONTENDED_CHUNK_PAIRS)
+                .min(self.chunk_pairs)
+                .max(1);
+        }
+        self
     }
 
     /// Number of chunks a run over `total` pairs produces.
@@ -375,6 +399,24 @@ mod tests {
         let config = FilterConfig::new(100, 5).with_chunk_pairs(64);
         let (chunks, _) = plan(config);
         assert_eq!(chunks.chunk_pairs, 64);
+    }
+
+    #[test]
+    fn link_sharers_shrink_chunks_with_a_floor() {
+        let plan = ChunkPlan { chunk_pairs: 5_000 };
+        assert_eq!(plan.with_link_sharers(1).chunk_pairs, 5_000);
+        assert_eq!(plan.with_link_sharers(8).chunk_pairs, 625);
+        // The floor stops the shrink once launch overhead would dominate…
+        assert_eq!(plan.with_link_sharers(100).chunk_pairs, 256);
+        // …but never grows a chunk that was already below the floor.
+        let tiny = ChunkPlan { chunk_pairs: 40 };
+        assert_eq!(tiny.with_link_sharers(4).chunk_pairs, 40);
+        assert_eq!(
+            ChunkPlan { chunk_pairs: 0 }
+                .with_link_sharers(4)
+                .chunk_pairs,
+            1
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Throughput is expressed as "billions of filtrations in 40 minutes" (Tables 2,
 //! S.13–S.15) or "millions of filtrations per second" (Figures 6–8).
 
+use gk_gpusim::topology::{ContentionRun, LinkUsage};
 use serde::{Deserialize, Serialize};
 
 /// Time breakdown of one filtering run.
@@ -126,6 +127,58 @@ impl TimingBreakdown {
         self.readback_seconds += other.readback_seconds;
         self.host_wall_seconds += other.host_wall_seconds;
         self.overlapped_seconds = combined_overlap;
+    }
+}
+
+/// Interconnect accounting of one multi-GPU run: the same per-device chunk
+/// loads replayed twice through `gk_gpusim::topology::simulate_contended` —
+/// once on the configured topology (shared links serialize concurrent
+/// transfers) and once on its private-link twin (the paper's implicit
+/// free-overlap assumption). The gap between the two makespans is what the
+/// interconnect costs; the existing kernel/filter-time fields of the run never
+/// include it, so all pre-topology numbers stay bit-for-bit unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterconnectReport {
+    /// Topology label (`private`, `shared`, `switch:4`, `nvlink`, …).
+    pub topology: String,
+    /// Whether the topology-aware scheduler produced the shard plan.
+    pub aware: bool,
+    /// Replay on the configured topology, contention included.
+    pub contended: ContentionRun,
+    /// Replay of the *same* loads with every device on a private link at the
+    /// same per-transfer rate — the contention-off baseline.
+    pub uncontended: ContentionRun,
+}
+
+impl InterconnectReport {
+    /// End-to-end makespan under contention (the headline number).
+    pub fn makespan_seconds(&self) -> f64 {
+        self.contended.makespan_seconds
+    }
+
+    /// Seconds the shared links add over the private-link baseline.
+    pub fn contention_penalty_seconds(&self) -> f64 {
+        (self.contended.makespan_seconds - self.uncontended.makespan_seconds).max(0.0)
+    }
+
+    /// Contended-over-uncontended makespan ratio (≥ 1 whenever links are
+    /// shared; 1 exactly on private links).
+    pub fn contention_slowdown(&self) -> f64 {
+        if self.uncontended.makespan_seconds <= 0.0 {
+            1.0
+        } else {
+            self.contended.makespan_seconds / self.uncontended.makespan_seconds
+        }
+    }
+
+    /// Total seconds transfers stalled behind other devices' link traffic.
+    pub fn link_wait_seconds(&self) -> f64 {
+        self.contended.link_wait_seconds()
+    }
+
+    /// Per-link traffic/stall/utilization rows of the contended replay.
+    pub fn links(&self) -> &[LinkUsage] {
+        &self.contended.links
     }
 }
 
@@ -270,6 +323,44 @@ mod tests {
         );
         a.accumulate(&t);
         assert_eq!(a.encode_device_seconds, 1.0);
+    }
+
+    #[test]
+    fn interconnect_report_derives_penalty_and_slowdown() {
+        let run = |makespan: f64| ContentionRun {
+            makespan_seconds: makespan,
+            serialized_seconds: makespan * 2.0,
+            per_device_finish_seconds: vec![makespan],
+            per_device_link_wait_seconds: vec![0.5],
+            links: Vec::new(),
+            anomalies: 0,
+        };
+        let report = InterconnectReport {
+            topology: "shared".to_string(),
+            aware: false,
+            contended: run(3.0),
+            uncontended: run(2.0),
+        };
+        assert_eq!(report.makespan_seconds(), 3.0);
+        assert!((report.contention_penalty_seconds() - 1.0).abs() < 1e-12);
+        assert!((report.contention_slowdown() - 1.5).abs() < 1e-12);
+        assert!((report.link_wait_seconds() - 0.5).abs() < 1e-12);
+        // A private topology never reports a negative penalty or < 1 slowdown.
+        let private = InterconnectReport {
+            topology: "private".to_string(),
+            aware: true,
+            contended: run(2.0),
+            uncontended: run(2.0),
+        };
+        assert_eq!(private.contention_penalty_seconds(), 0.0);
+        assert_eq!(private.contention_slowdown(), 1.0);
+        let empty = InterconnectReport {
+            topology: "private".to_string(),
+            aware: false,
+            contended: run(0.0),
+            uncontended: run(0.0),
+        };
+        assert_eq!(empty.contention_slowdown(), 1.0);
     }
 
     #[test]

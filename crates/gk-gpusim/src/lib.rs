@@ -38,6 +38,10 @@
 //! * [`power`] — nvprof-like power sampling (min/max/average milliwatts).
 //! * [`profiler`] — aggregated per-kernel profiling reports.
 //! * [`multi`] — multi-GPU contexts that split batches across devices.
+//! * [`topology`] — interconnect topologies: devices attached to shared host
+//!   links (root complex, PCIe switch fan-out, NVLink-style fabric) whose
+//!   concurrent transfers serialize instead of overlapping for free, plus the
+//!   contended multi-device pipeline replay ([`topology::simulate_contended`]).
 
 #![warn(missing_docs)]
 
@@ -51,6 +55,7 @@ pub mod power;
 pub mod profiler;
 pub mod stream;
 pub mod timeline;
+pub mod topology;
 
 pub use device::{Architecture, DeviceSpec, PcieLink};
 pub use executor::{
@@ -62,4 +67,8 @@ pub use occupancy::{theoretical_occupancy, OccupancyLimit, OccupancyResult};
 pub use power::{PowerModel, PowerReport};
 pub use profiler::{KernelProfile, Profiler};
 pub use stream::{Event, Stream};
-pub use timeline::{StreamId, Timeline};
+pub use timeline::{Link, LinkId, StreamId, Timeline};
+pub use topology::{
+    simulate_contended, weighted_partition, ChunkLoad, ContentionRun, LinkSpec, LinkUsage,
+    Topology, TopologyKind,
+};

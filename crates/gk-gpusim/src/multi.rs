@@ -43,8 +43,10 @@ impl MultiGpu {
         &self.devices
     }
 
-    /// Splits `total_items` work items into equal per-device shares (the last device
-    /// absorbs the remainder). Returns half-open `[start, end)` ranges per device.
+    /// Splits `total_items` work items into equal per-device shares; when the
+    /// count does not divide evenly, the first `total_items % devices` devices
+    /// each absorb one extra item. Returns half-open `[start, end)` ranges per
+    /// device.
     pub fn split_work(&self, total_items: usize) -> Vec<(usize, usize)> {
         let n = self.devices.len();
         let base = total_items / n;
@@ -58,6 +60,20 @@ impl MultiGpu {
             start = end;
         }
         ranges
+    }
+
+    /// Splits `total_items` into contiguous per-device shares proportional to
+    /// `weights` (largest-remainder rounding; see
+    /// [`crate::topology::weighted_partition`]). Equal weights reproduce
+    /// [`MultiGpu::split_work`]'s front-loaded equal split. The topology-aware
+    /// sharder feeds each device's effective link bandwidth in here.
+    pub fn split_work_weighted(&self, total_items: usize, weights: &[f64]) -> Vec<(usize, usize)> {
+        assert_eq!(
+            weights.len(),
+            self.devices.len(),
+            "one weight per device required"
+        );
+        crate::topology::weighted_partition(total_items, weights)
     }
 
     /// Multi-GPU kernel time: the slowest device defines the reported time (§4.3).
@@ -100,6 +116,28 @@ mod tests {
         let total: usize = ranges.iter().map(|(s, e)| e - s).sum();
         assert_eq!(total, 2);
         assert!(ranges.iter().all(|(s, e)| e >= s));
+    }
+
+    #[test]
+    fn split_front_loads_the_remainder() {
+        // The doc promises the *first* `remainder` devices absorb the extras.
+        let ctx = MultiGpu::homogeneous(DeviceSpec::gtx_1080_ti(), 4);
+        let ranges = ctx.split_work(10);
+        let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn weighted_split_follows_the_weights_and_equal_weights_match_split_work() {
+        let ctx = MultiGpu::homogeneous(DeviceSpec::gtx_1080_ti(), 4);
+        let ranges = ctx.split_work_weighted(100, &[3.0, 1.0, 1.0, 1.0]);
+        assert_eq!(ranges[0], (0, 50));
+        assert_eq!(ranges.last().unwrap().1, 100);
+        assert_eq!(
+            ctx.split_work_weighted(10, &[1.0; 4]),
+            ctx.split_work(10),
+            "equal weights must reproduce the front-loaded equal split"
+        );
     }
 
     #[test]

@@ -70,6 +70,21 @@ impl Stream {
         self.cursor_seconds
     }
 
+    /// Makes all subsequently enqueued work wait until the absolute timeline
+    /// position `at_seconds` — the raw-time twin of [`Stream::wait_event`],
+    /// used by the [`Timeline`](crate::timeline::Timeline) link arbiter to
+    /// stall a transfer behind another stream's traffic on a shared
+    /// interconnect. A position at or before the cursor is a no-op; otherwise
+    /// the idle gap is recorded under `label`. Returns the new cursor.
+    pub fn wait_until(&mut self, label: impl Into<String>, at_seconds: f64) -> f64 {
+        if at_seconds > self.cursor_seconds {
+            let gap = at_seconds - self.cursor_seconds;
+            self.cursor_seconds = at_seconds;
+            self.operations.push((label.into(), gap));
+        }
+        self.cursor_seconds
+    }
+
     /// Records an event at the current end of the stream.
     pub fn record_event(&self) -> Event {
         Event {
