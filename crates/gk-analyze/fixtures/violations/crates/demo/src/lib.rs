@@ -1,0 +1,26 @@
+//! Seeded violations: one `unsafe` block without a SAFETY comment, one
+//! `unwrap()` in library code, one unjustified `Ordering::Relaxed`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn missing_safety_comment(values: &[u32]) -> u32 {
+    unsafe { *values.get_unchecked(0) }
+}
+
+pub fn library_unwrap(text: &str) -> u32 {
+    text.parse::<u32>().unwrap()
+}
+
+pub fn unjustified_relaxed(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test region both patterns are fine; the analyzer must not
+    // report these lines.
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!("7".parse::<u32>().unwrap(), 7);
+    }
+}

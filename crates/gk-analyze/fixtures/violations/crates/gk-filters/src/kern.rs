@@ -1,0 +1,6 @@
+//! Seeded violation: a `*_kernel_x4` lane kernel with no `*_reference` twin
+//! (and therefore nothing the differential property suite could pin it to).
+
+pub fn demo_kernel_x4(lanes: [u64; 4]) -> [u64; 4] {
+    lanes.map(|lane| lane ^ 0x5555_5555_5555_5555)
+}

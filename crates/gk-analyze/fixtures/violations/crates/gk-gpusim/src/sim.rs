@@ -1,0 +1,8 @@
+//! Seeded violation: host wall-clock in a simulated-time module.
+
+use std::time::Instant;
+
+pub fn simulated_step_with_host_clock() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,284 @@
+//! A lightweight Rust lexer: just enough to tell code from comments from
+//! string literals, line by line.
+//!
+//! The checks in [`crate::checks`] are structural ("is there a `// SAFETY:`
+//! comment above this `unsafe` token?"), so they need three synchronized views
+//! of every file:
+//!
+//! * the raw text, for reporting;
+//! * a **code view**, where comment text and string/char-literal *contents*
+//!   are blanked to spaces (delimiters kept), so token scans cannot match
+//!   inside a string like `".unwrap()"` and brace matching cannot be confused
+//!   by `"{"`;
+//! * a **comment view**, where everything *except* comment text is blanked,
+//!   so "does the line above carry a SAFETY tag" is a plain substring probe.
+//!
+//! The lexer handles line comments, nested block comments, doc comments
+//! (treated as comments), string / raw-string / byte-string / char literals,
+//! and the char-vs-lifetime ambiguity with the usual lookahead heuristic. It
+//! does not attempt macros, shebangs beyond line one, or frontier syntax —
+//! the workspace is plain 2021-edition code and the fixture tests pin the
+//! behaviours the checks rely on.
+
+/// One lexed source file: raw text plus the code and comment views, split
+/// into parallel line vectors (index = line number - 1).
+pub struct FileView {
+    pub code: Vec<String>,
+    pub comments: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Nested block comments carry their depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with the given number of `#` marks.
+    RawStr(u32),
+    Char,
+}
+
+/// True if `c` can continue an identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `text` into synchronized code/comment line views.
+pub fn lex(text: &str) -> FileView {
+    let chars: Vec<char> = text.chars().collect();
+    let mut code = String::with_capacity(text.len());
+    let mut comments = String::with_capacity(text.len());
+    let mut state = State::Normal;
+    let mut i = 0usize;
+
+    // Pushes one input char to both views, keeping `kept` visible in `code`
+    // (comment chars go to the comment view instead; blanked chars become
+    // spaces in both). Newlines always pass through both views.
+    let push = |code: &mut String, comments: &mut String, c: char, to_code: bool, to_cmt: bool| {
+        if c == '\n' {
+            code.push('\n');
+            comments.push('\n');
+            return;
+        }
+        code.push(if to_code { c } else { ' ' });
+        comments.push(if to_cmt { c } else { ' ' });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    push(&mut code, &mut comments, c, false, true);
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    push(&mut code, &mut comments, c, false, true);
+                } else if c == '"' {
+                    state = State::Str;
+                    push(&mut code, &mut comments, c, true, false);
+                } else if c == 'r'
+                    && matches!(next, Some('"') | Some('#'))
+                    && !prev_ident(&chars, i)
+                {
+                    // Possible raw string: r"..." or r#"..."#.
+                    if let Some(hashes) = raw_str_hashes(&chars, i + 1) {
+                        push(&mut code, &mut comments, c, true, false);
+                        for _ in 0..hashes {
+                            i += 1;
+                            push(&mut code, &mut comments, chars[i], true, false);
+                        }
+                        i += 1;
+                        push(&mut code, &mut comments, chars[i], true, false); // opening quote
+                        state = State::RawStr(hashes);
+                    } else {
+                        push(&mut code, &mut comments, c, true, false);
+                    }
+                } else if c == 'b' && next == Some('"') && !prev_ident(&chars, i) {
+                    push(&mut code, &mut comments, c, true, false);
+                    i += 1;
+                    push(&mut code, &mut comments, chars[i], true, false);
+                    state = State::Str;
+                } else if c == 'b' && next == Some('\'') && !prev_ident(&chars, i) {
+                    push(&mut code, &mut comments, c, true, false);
+                    i += 1;
+                    push(&mut code, &mut comments, chars[i], true, false);
+                    state = State::Char;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a backslash or a close quote
+                    // two characters on means a literal; otherwise a lifetime.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    push(&mut code, &mut comments, c, true, false);
+                    if is_char {
+                        state = State::Char;
+                    }
+                } else {
+                    push(&mut code, &mut comments, c, true, false);
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                }
+                push(&mut code, &mut comments, c, false, true);
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    push(&mut code, &mut comments, c, false, true);
+                    i += 1;
+                    push(&mut code, &mut comments, chars[i], false, true);
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && next == Some('*') {
+                    push(&mut code, &mut comments, c, false, true);
+                    i += 1;
+                    push(&mut code, &mut comments, chars[i], false, true);
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    push(&mut code, &mut comments, c, false, true);
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Escape: consume both characters, stay in the string.
+                    push(&mut code, &mut comments, c, false, false);
+                    if let Some(n) = next {
+                        i += 1;
+                        push(&mut code, &mut comments, n, false, false);
+                    }
+                } else if c == '"' {
+                    push(&mut code, &mut comments, c, true, false);
+                    state = State::Normal;
+                } else {
+                    push(&mut code, &mut comments, c, false, false);
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_str_closes(&chars, i + 1, hashes) {
+                    push(&mut code, &mut comments, c, true, false);
+                    for _ in 0..hashes {
+                        i += 1;
+                        push(&mut code, &mut comments, chars[i], true, false);
+                    }
+                    state = State::Normal;
+                } else {
+                    push(&mut code, &mut comments, c, false, false);
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    push(&mut code, &mut comments, c, false, false);
+                    if let Some(n) = next {
+                        i += 1;
+                        push(&mut code, &mut comments, n, false, false);
+                    }
+                } else if c == '\'' {
+                    push(&mut code, &mut comments, c, true, false);
+                    state = State::Normal;
+                } else {
+                    push(&mut code, &mut comments, c, false, false);
+                }
+            }
+        }
+        i += 1;
+    }
+
+    FileView {
+        code: code.lines().map(str::to_string).collect(),
+        comments: comments.lines().map(str::to_string).collect(),
+    }
+}
+
+/// True if the char before position `i` continues an identifier (so an `r` or
+/// `b` there is part of a name like `for` / `attr`, not a literal prefix).
+fn prev_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident(chars[i - 1])
+}
+
+/// If `chars[from..]` is `#*"` (a raw-string opener minus the `r`), returns
+/// the hash count.
+fn raw_str_hashes(chars: &[char], from: usize) -> Option<u32> {
+    let mut hashes = 0u32;
+    let mut j = from;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// True if `hashes` hash marks follow position `from` (a raw-string closer).
+fn raw_str_closes(chars: &[char], from: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Byte ranges of `ident` appearing as a whole word in `line` (a code-view
+/// line), as (start, end) column pairs.
+pub fn ident_positions(line: &str, ident: &str) -> Vec<(usize, usize)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(at) = line[from..].find(ident) {
+        let start = from + at;
+        let end = start + ident.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1] as char);
+        let right_ok = end >= bytes.len() || !is_ident(bytes[end] as char);
+        if left_ok && right_ok {
+            out.push((start, end));
+        }
+        from = end;
+    }
+    out
+}
+
+/// The first non-space character before column `col` on `line`, if any.
+pub fn char_before(line: &str, col: usize) -> Option<char> {
+    line[..col].chars().rev().find(|c| !c.is_whitespace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let v = lex("let x = \".unwrap()\"; // SAFETY: not code\nunsafe { f() }\n");
+        assert!(!v.code[0].contains("unwrap"));
+        assert!(v.comments[0].contains("SAFETY: not code"));
+        assert!(v.code[1].contains("unsafe"));
+        assert!(v.comments[1].trim().is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let v = lex("let s = r#\"unsafe { \" } \"#; let c = '{'; let lt: &'static str = \"\";\n");
+        assert!(!v.code[0].contains("unsafe"));
+        // The brace inside the char literal is blanked; the lifetime is kept.
+        let opens = v.code[0].matches('{').count();
+        assert_eq!(opens, 0);
+        assert!(v.code[0].contains("'static"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let v = lex("/* a /* b */ still */ code()\n");
+        assert!(v.code[0].contains("code()"));
+        assert!(!v.code[0].contains("still"));
+        assert!(v.comments[0].contains("still"));
+    }
+
+    #[test]
+    fn ident_positions_respect_word_boundaries() {
+        assert_eq!(ident_positions("x.unwrap_or_else(y)", "unwrap"), vec![]);
+        assert_eq!(ident_positions("x.unwrap()", "unwrap"), vec![(2, 8)]);
+    }
+}

@@ -142,6 +142,24 @@ fn contention_sweep(kind: TopologyKind, pairs: usize) -> Vec<SweepRow> {
             );
         }
 
+        // Every variant's every device must report a clean simulated
+        // timeline; a clamped duration would silently turn the contention
+        // numbers below into lower bounds. (`multi_gpu_run` already gates
+        // this; repeating it here keeps the smoke self-contained.)
+        for (name, run) in [
+            ("naive", &row.naive),
+            ("aware", &row.aware),
+            ("naive/private", &row.naive_private),
+            ("aware/private", &row.aware_private),
+        ] {
+            for (device, device_run) in run.per_device.iter().enumerate() {
+                gk_bench::runner::assert_no_timing_anomalies(
+                    &format!("fig8 {name} {devices}dev device {device}"),
+                    &device_run.pipeline,
+                );
+            }
+        }
+
         // Contention off reproduces the private-link numbers: on PCIe-rate
         // wirings (shared root, switch) the naive run's uncontended twin IS
         // the private-link replay, bit-for-bit. NVLink links run at the

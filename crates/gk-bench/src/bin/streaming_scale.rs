@@ -150,12 +150,9 @@ fn print_run(label: &str, measured: &MeasuredRun) {
         "  reported kernel time    : {} s",
         fmt(run.kernel_seconds(), 4)
     );
-    if run.pipeline.timing_anomalies > 0 {
-        println!(
-            "  TIMING ANOMALIES        : {} clamped durations (timeline is a lower bound)",
-            run.pipeline.timing_anomalies
-        );
-    }
+    // Anomalies are a hard failure, not a footnote: a clamped duration means
+    // the numbers just printed are lower bounds masquerading as measurements.
+    gk_bench::runner::assert_no_timing_anomalies("streaming smoke", &run.pipeline);
     println!(
         "throughput (filter time): {} Mpairs/s = {} B/40min",
         fmt(millions_per_second(run.pairs, run.filter_seconds()), 2),

@@ -97,10 +97,24 @@ pub fn gpu_throughput(
     }
 }
 
+/// Hard gate on the simulated timeline: a clamped duration means the stream
+/// model produced an impossible interval and silently reported a lower bound.
+/// Release smokes must fail loudly on that instead of printing a number that
+/// looks like a result, so every harness entry point routes through this.
+pub fn assert_no_timing_anomalies(context: &str, report: &gk_core::pipeline::PipelineReport) {
+    assert_eq!(
+        report.timing_anomalies, 0,
+        "{context}: simulated timeline clamped {} duration(s) — the pipeline \
+         model is unsound for this run",
+        report.timing_anomalies,
+    );
+}
+
 /// Runs GateKeeper-GPU over a set on `devices` GPUs of a setup under an
 /// explicit interconnect topology and scheduler, returning the full run —
 /// decisions, per-device pipelines, and the contended-vs-private replay in
-/// [`MultiGpuRun::interconnect`].
+/// [`MultiGpuRun::interconnect`]. Hard-asserts an anomaly-free timeline on
+/// every device.
 pub fn multi_gpu_run(
     setup: &Setup,
     devices: usize,
@@ -114,7 +128,12 @@ pub fn multi_gpu_run(
         .with_encoding(encoding)
         .with_topology(topology)
         .with_topology_aware(aware);
-    MultiGpuGateKeeper::new(setup.device(), devices, config).filter_set(set)
+    let run = MultiGpuGateKeeper::new(setup.device(), devices, config).filter_set(set);
+    for (device, device_run) in run.per_device.iter().enumerate() {
+        let context = format!("{} x{devices} device {device}", setup.name);
+        assert_no_timing_anomalies(&context, &device_run.pipeline);
+    }
+    run
 }
 
 /// Runs the multicore GateKeeper-CPU baseline over a set, on the shared pool

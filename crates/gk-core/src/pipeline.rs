@@ -228,9 +228,10 @@ impl PipelineSchedule {
     pub fn record_chunk(&mut self, stages: &ChunkStageSeconds) {
         let i = self.chunks;
         if self.drained.len() >= BUFFER_SLOTS {
-            let slot_free = self.drained.pop_front().expect("checked non-empty");
-            self.timeline
-                .wait_event(self.h2d, format!("wait slot (chunk {i})"), &slot_free);
+            if let Some(slot_free) = self.drained.pop_front() {
+                self.timeline
+                    .wait_event(self.h2d, format!("wait slot (chunk {i})"), &slot_free);
+            }
         }
         let uploaded =
             self.timeline

@@ -181,9 +181,10 @@ fn kernel_impl(
     // beyond the read length, which for huge thresholds aborted on allocation;
     // `e ≥ len` now degrades to the full set of meaningful shifts.
     let max_shift = (e as usize).min(len.saturating_sub(1));
-    let mut masks: Vec<BaseMask> = Vec::with_capacity(2 * max_shift + 1);
     amend(&mut hamming, config.amend_run_len);
-    masks.push(hamming);
+    // The Hamming mask seeds the running AND; each shifted mask is folded in
+    // as soon as it is built, so no `2e + 1` mask vector is ever held.
+    let mut combined = hamming;
 
     for k in 1..=max_shift {
         // Deletion mask: read shifted towards higher positions by k bases.
@@ -195,7 +196,7 @@ fn kernel_impl(
             // is against bases outside the read and must signal a potential error.
             set_range(&mut del_mask, 0, k.min(len));
         }
-        masks.push(del_mask);
+        combined.and_assign(&del_mask);
 
         // Insertion mask: read shifted towards lower positions by k bases.
         let shifted = shift_left_bases(read.words(), k);
@@ -205,13 +206,7 @@ fn kernel_impl(
             // The last k positions were vacated by the shift.
             set_range(&mut ins_mask, len.saturating_sub(k), len);
         }
-        masks.push(ins_mask);
-    }
-
-    // Final AND across all masks.
-    let mut combined = masks.pop().expect("at least the Hamming mask exists");
-    for mask in &masks {
-        combined.and_assign(mask);
+        combined.and_assign(&ins_mask);
     }
 
     let errors = match config.counting {

@@ -44,7 +44,7 @@ pub use gatekeeper::{
 };
 pub use magnet::{
     magnet_filter_block, magnet_filter_block_slices, magnet_kernel_x4, magnet_pair_decision,
-    MagnetFilter,
+    magnet_pair_decision_reference, MagnetFilter,
 };
 pub use shouji::{
     shouji_filter_block, shouji_filter_block_slices, shouji_kernel_x4, shouji_pair_decision,

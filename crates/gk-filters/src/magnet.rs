@@ -393,6 +393,17 @@ pub fn magnet_pair_decision(
     }
 }
 
+/// Per-bit reference twin of [`magnet_kernel_x4`] (and of the widened
+/// per-pair path): [`magnet_pair_decision`] with every word-parallel
+/// primitive swapped for its scalar `_reference` twin — reference XOR mask
+/// build, per-bit run scans, per-bit extraction probes. Decisions are
+/// byte-identical to the lane kernel; only throughput differs. This is the
+/// function the differential property suite pins the lane kernel against,
+/// and the `kernel-twin` invariant in `gk-analyze` checks it stays that way.
+pub fn magnet_pair_decision_reference(read: &[u8], reference: &[u8], e: u32) -> FilterDecision {
+    magnet_pair_decision(read, reference, e, true)
+}
+
 /// Runs MAGNET on all lanes of a struct-of-arrays group at once. Decisions of
 /// inactive lanes (`lane >= group.lanes`) are meaningless.
 ///

@@ -18,8 +18,9 @@ use gk_filters::words::{
 };
 use gk_filters::{
     decision_digest, magnet_filter_block_slices, magnet_kernel_x4, magnet_pair_decision,
-    shouji_filter_block_slices, shouji_kernel_x4, shouji_pair_decision,
-    sneaky_snake_filter_block_slices, sneaky_snake_kernel_x4, sneaky_snake_pair_decision,
+    magnet_pair_decision_reference, shouji_filter_block_slices, shouji_kernel_x4,
+    shouji_pair_decision, shouji_pair_decision_reference, sneaky_snake_filter_block_slices,
+    sneaky_snake_kernel_x4, sneaky_snake_pair_decision, sneaky_snake_pair_decision_reference,
     GateKeeperFpgaFilter, GateKeeperGpuFilter, MagnetFilter, PreAlignmentFilter, ShdFilter,
     ShoujiFilter, SneakySnakeFilter,
 };
@@ -703,6 +704,23 @@ proptest! {
                 snake[lane],
                 sneaky_snake_pair_decision(read, reference, e),
                 "sneaky-snake lane {}, len {}, e {}", lane, len, e
+            );
+            // The per-bit reference twins close the differential triangle:
+            // lane kernel == widened per-pair path == scalar reference.
+            prop_assert_eq!(
+                magnet[lane],
+                magnet_pair_decision_reference(read, reference, e),
+                "magnet reference twin, lane {}, len {}, e {}", lane, len, e
+            );
+            prop_assert_eq!(
+                shouji[lane],
+                shouji_pair_decision_reference(read, reference, e),
+                "shouji reference twin, lane {}, len {}, e {}", lane, len, e
+            );
+            prop_assert_eq!(
+                snake[lane],
+                sneaky_snake_pair_decision_reference(read, reference, e),
+                "sneaky-snake reference twin, lane {}, len {}, e {}", lane, len, e
             );
         }
     }

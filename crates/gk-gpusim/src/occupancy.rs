@@ -100,11 +100,15 @@ pub fn theoretical_occupancy(device: &DeviceSpec, resources: &KernelResources) -
         (blocks_by_slots, OccupancyLimit::Blocks),
         (blocks_by_smem, OccupancyLimit::SharedMemory),
     ];
-    let (blocks_per_sm, limiting_factor) = candidates
-        .iter()
-        .copied()
-        .min_by_key(|(blocks, _)| *blocks)
-        .expect("candidate list is non-empty");
+    // Manual first-minimum fold over the fixed candidate array: `min_by_key`
+    // would hand back an `Option` the analyzer bans unwrapping.
+    let mut best = candidates[0];
+    for candidate in candidates.iter().skip(1) {
+        if candidate.0 < best.0 {
+            best = *candidate;
+        }
+    }
+    let (blocks_per_sm, limiting_factor) = best;
 
     let active_warps = blocks_per_sm * warps_per_block;
     let active_warps = active_warps.min(device.max_warps_per_sm);

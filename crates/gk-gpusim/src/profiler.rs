@@ -68,6 +68,7 @@ impl Profiler {
         let length_penalty = (words_per_thread as f64 / 16.0).min(1.0) * 0.06;
         let l2_hit_rate = (0.88 - length_penalty).clamp(0.0, 1.0);
         let l1_hit_rate = (0.34 - length_penalty).clamp(0.0, 1.0);
+        let newest = self.profiles.len();
         self.profiles.push(KernelProfile {
             kernel: kernel.into(),
             stats,
@@ -75,7 +76,7 @@ impl Profiler {
             l2_hit_rate,
             l1_hit_rate,
         });
-        self.profiles.last().expect("just pushed")
+        &self.profiles[newest]
     }
 
     /// All recorded profiles.

@@ -311,7 +311,7 @@ pub fn weighted_partition(total: usize, weights: &[f64]) -> Vec<(usize, usize)> 
         // Hand the leftover items to the largest fractional parts; ties break
         // to the lower device index so the split is deterministic.
         let mut leftover = total.saturating_sub(assigned);
-        fractions.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        fractions.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut at = 0usize;
         while leftover > 0 {
             sizes[fractions[at % n].1] += 1;
@@ -536,7 +536,9 @@ pub fn simulate_contended(
             // Read-back of the oldest kernel-complete chunk.
             let c = dev.next_d2h;
             let load = loads[d][c];
-            let done = dev.kernel_done[c].expect("read-back granted before its kernel");
+            let Some(done) = dev.kernel_done[c] else {
+                unreachable!("read-back granted before its kernel");
+            };
             tl.wait_event(dev.d2h, format!("wait kernel chunk {c}"), &done);
             if load.d2h_bytes > 0 {
                 let waited_before = tl.link(d2h_links[link]).wait_seconds();

@@ -280,8 +280,9 @@ fn pack_ascii_lane(seq: &[u8], lane: usize, rows: &mut [[u64; SOA_LANES]]) {
         let mut word = 0u64;
         let mut eights = chunk.chunks_exact(8);
         for (i, eight) in eights.by_ref().enumerate() {
-            let bytes = u64::from_le_bytes(eight.try_into().expect("8-byte chunk"));
-            word |= pack8_ascii(bytes) << (16 * i);
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(eight);
+            word |= pack8_ascii(u64::from_le_bytes(raw)) << (16 * i);
         }
         let packed = chunk.len() / 8 * 8;
         for (i, &b) in eights.remainder().iter().enumerate() {

@@ -29,6 +29,11 @@
 
 pub mod iter;
 mod pool;
+/// Loom-lite schedule-permutation layer for the concurrency audit. Compiled
+/// only for the unit suite (`cfg(test)`) and the dedicated audit leg
+/// (`RUSTFLAGS=--cfg gk_schedules`); absent from production builds.
+#[cfg(any(test, gk_schedules))]
+pub mod schedule;
 pub mod slice;
 
 pub use pool::{JoinHandle, Scope};

@@ -46,9 +46,33 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::Duration;
+
+/// Queue-transition points the schedule-permutation layer can perturb.
+///
+/// The enum is part of the pool's permanent vocabulary — every transition
+/// names its point when it calls [`Registry::sched`] — but the perturbation
+/// logic behind those calls only exists under `cfg(test)` /
+/// `--cfg gk_schedules` (see `crate::schedule`). In ordinary builds the hook
+/// is an empty inlined function and the whole layer costs nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SchedPoint {
+    /// A task is about to be enqueued (own deque or injector).
+    Push,
+    /// A worker is about to pop from the back of its own deque.
+    PopOwn,
+    /// A thread is about to pop from the front of the injector.
+    PopInjector,
+    /// A thief is about to attempt one steal from a victim deque.
+    Steal,
+    /// One iteration of a help-while-waiting loop.
+    HelpWait,
+    /// One iteration of a worker's main loop.
+    WorkerLoop,
+}
 
 /// A unit of erased work.
 ///
@@ -67,9 +91,21 @@ type PanicPayload = Box<dyn Any + Send + 'static>;
 ///
 /// # Safety
 ///
-/// The caller must not return (or otherwise invalidate the closure's borrows)
-/// until the task is guaranteed to have finished executing — in this module,
-/// by waiting on the [`OpLatch`] the task reports to.
+/// The transmute changes only the lifetime parameter of the trait object: the
+/// vtable and the data pointer are untouched, so the result is bit-identical
+/// to the input. What the caller promises is temporal: **no borrow captured by
+/// the closure may be invalidated until the task has finished executing** —
+/// not merely been popped, *finished*, including its panic path.
+///
+/// Every call site in this module discharges that obligation the same way:
+/// the erased task reports to an [`OpLatch`] as the last thing it does (the
+/// `complete` call sits after the closure body, inside the task wrapper), and
+/// the frame that owns the borrows blocks on that latch before returning —
+/// `run_parallel` and `join` via [`Registry::help_until`], [`Scope::spawn`]
+/// via the latch wait in [`scope`]'s epilogue. The scope path additionally
+/// counts spawned vs. completed tasks and `debug_assert_eq!`s them once the
+/// latch is down, so a bookkeeping bug that would break this contract trips
+/// loudly in debug/test builds instead of silently dangling.
 unsafe fn erase_task<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
     // SAFETY: sound per the contract above; only the lifetime is transmuted.
     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Task>(task) }
@@ -167,6 +203,11 @@ pub(crate) struct Registry {
     /// Shutdown flag; guarded by the sleep mutex so workers cannot miss it.
     sleep: Mutex<bool>,
     wake_cv: Condvar,
+    /// Loom-lite schedule controller: when set, every queue transition calls
+    /// into it so the schedule suite can yield/sleep/shuffle its way through
+    /// push/steal/join interleavings. `None` for all production registries.
+    #[cfg(any(test, gk_schedules))]
+    schedule: Option<Arc<crate::schedule::Controller>>,
 }
 
 thread_local! {
@@ -273,21 +314,24 @@ impl Drop for RegistryGuard {
 }
 
 impl Registry {
-    /// Creates a registry and spawns its workers (none when `num_threads <= 1`:
-    /// that is the sequential fallback).
-    pub(crate) fn spawn(
-        num_threads: usize,
-        name_prefix: &str,
-    ) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
+    /// Builds the shared state for a pool of `num_threads` (no worker deques
+    /// when `num_threads <= 1`: that is the sequential fallback).
+    fn new_state(num_threads: usize) -> Registry {
         let workers = if num_threads >= 2 { num_threads } else { 0 };
-        let registry = Arc::new(Registry {
+        Registry {
             num_threads: num_threads.max(1),
             injector: Mutex::new(VecDeque::new()),
             workers: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             sleep: Mutex::new(false),
             wake_cv: Condvar::new(),
-        });
-        let handles = (0..workers)
+            #[cfg(any(test, gk_schedules))]
+            schedule: None,
+        }
+    }
+
+    /// Spawns one OS thread per worker deque of `registry`.
+    fn start_workers(registry: &Arc<Registry>, name_prefix: &str) -> Vec<thread::JoinHandle<()>> {
+        (0..registry.workers.len())
             .map(|index| {
                 let registry = registry.clone();
                 thread::Builder::new()
@@ -295,8 +339,47 @@ impl Registry {
                     .spawn(move || worker_loop(registry, index))
                     .expect("failed to spawn pool worker thread")
             })
-            .collect();
+            .collect()
+    }
+
+    /// Creates a registry and spawns its workers (none when `num_threads <= 1`:
+    /// that is the sequential fallback).
+    pub(crate) fn spawn(
+        num_threads: usize,
+        name_prefix: &str,
+    ) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
+        let registry = Arc::new(Self::new_state(num_threads));
+        let handles = Self::start_workers(&registry, name_prefix);
         (registry, handles)
+    }
+
+    /// Like [`Registry::spawn`] but with a schedule controller attached: every
+    /// queue transition of this pool reports to `controller`, which perturbs
+    /// thread timing and steal order to drive the pool through adversarial
+    /// interleavings. Test layer only.
+    #[cfg(any(test, gk_schedules))]
+    pub(crate) fn spawn_scheduled(
+        num_threads: usize,
+        name_prefix: &str,
+        controller: Arc<crate::schedule::Controller>,
+    ) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
+        let mut state = Self::new_state(num_threads);
+        state.schedule = Some(controller);
+        let registry = Arc::new(state);
+        let handles = Self::start_workers(&registry, name_prefix);
+        (registry, handles)
+    }
+
+    /// Schedule-permutation hook: forwards `point` to the attached controller,
+    /// if any. Compiles to an empty inlined function outside the test layer.
+    #[inline]
+    fn sched(&self, point: SchedPoint) {
+        #[cfg(any(test, gk_schedules))]
+        if let Some(controller) = &self.schedule {
+            controller.perturb(point);
+        }
+        #[cfg(not(any(test, gk_schedules)))]
+        let _ = point;
     }
 
     /// Logical thread count of this pool.
@@ -314,6 +397,7 @@ impl Registry {
     /// sleeper per task (the notify happens under the sleep mutex, which every
     /// worker re-checks queues under before waiting, so no wakeup is lost).
     fn push(self: &Arc<Self>, task: Task) {
+        self.sched(SchedPoint::Push);
         match current_worker_index(self) {
             Some(index) => self.workers[index].lock().unwrap().push_back(task),
             None => self.injector.lock().unwrap().push_back(task),
@@ -326,20 +410,30 @@ impl Registry {
     /// front, then the other workers' fronts (FIFO steals).
     fn find_task(&self, me: Option<usize>) -> Option<Task> {
         if let Some(index) = me {
+            self.sched(SchedPoint::PopOwn);
             if let Some(task) = self.workers[index].lock().unwrap().pop_back() {
                 return Some(task);
             }
         }
+        self.sched(SchedPoint::PopInjector);
         if let Some(task) = self.injector.lock().unwrap().pop_front() {
             return Some(task);
         }
         let victims = self.workers.len();
         let start = me.map_or(0, |index| index + 1);
+        // The schedule layer may rotate the victim scan to a different start
+        // so steal races are not limited to the default round-robin order.
+        #[cfg(any(test, gk_schedules))]
+        let start = match &self.schedule {
+            Some(controller) => controller.steal_start(start, victims),
+            None => start,
+        };
         for offset in 0..victims {
             let victim = (start + offset) % victims;
             if Some(victim) == me {
                 continue;
             }
+            self.sched(SchedPoint::Steal);
             if let Some(task) = self.workers[victim].lock().unwrap().pop_front() {
                 return Some(task);
             }
@@ -367,6 +461,7 @@ impl Registry {
             None => return latch.wait_done(),
         };
         loop {
+            self.sched(SchedPoint::HelpWait);
             if latch.is_done() {
                 return;
             }
@@ -385,6 +480,7 @@ impl Registry {
     /// the joiner long past its own latch completing.
     fn steal_subtask(&self) -> Option<Task> {
         for queue in &self.workers {
+            self.sched(SchedPoint::Steal);
             if let Some(task) = queue.lock().unwrap().pop_front() {
                 return Some(task);
             }
@@ -406,6 +502,7 @@ impl Registry {
     fn help_any_until(self: &Arc<Self>, latch: &OpLatch) {
         let me = current_worker_index(self);
         loop {
+            self.sched(SchedPoint::HelpWait);
             if latch.is_done() {
                 return;
             }
@@ -431,6 +528,7 @@ impl Registry {
 fn worker_loop(registry: Arc<Registry>, index: usize) {
     let _frame = RegistryGuard::enter(registry.clone(), Some(index));
     loop {
+        registry.sched(SchedPoint::WorkerLoop);
         if let Some(task) = registry.find_task(Some(index)) {
             task();
             continue;
@@ -632,6 +730,12 @@ where
 pub struct Scope<'scope> {
     registry: Arc<Registry>,
     latch: OpLatch,
+    /// Tasks handed to [`Scope::spawn`], paired with `completed` to
+    /// debug-assert the [`erase_task`] contract in [`scope`]'s epilogue:
+    /// every erased closure must have finished before `'scope` borrows die.
+    spawned: AtomicUsize,
+    /// Tasks whose closure (including its panic path) has finished.
+    completed: AtomicUsize,
     /// Invariant over `'scope`, as in rayon.
     _marker: PhantomData<&'scope mut &'scope ()>,
 }
@@ -644,18 +748,30 @@ impl<'scope> Scope<'scope> {
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
         self.latch.add_one();
+        // Relaxed: the counters are reconciled only after the latch wait in
+        // `scope`'s epilogue, whose mutex release/acquire pairs order every
+        // increment before the final loads; no other ordering is needed.
+        self.spawned.fetch_add(1, Ordering::Relaxed);
         if self.registry.is_sequential() {
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(self)));
+            // Relaxed: inline execution, same thread as the epilogue's loads.
+            self.completed.fetch_add(1, Ordering::Relaxed);
             self.latch.complete(outcome.err());
             return;
         }
         let scope_ref: &Scope<'scope> = self;
         let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(scope_ref)));
+            // Relaxed: ordered before the epilogue's load by the latch mutex
+            // (this increment happens-before `complete`, which happens-before
+            // the waiter observing `remaining == 0`).
+            scope_ref.completed.fetch_add(1, Ordering::Relaxed);
             scope_ref.latch.complete(outcome.err());
         });
         // SAFETY: `scope` waits on this latch before the `Scope` (and anything
-        // `'scope` borrows) can be invalidated.
+        // `'scope` borrows) can be invalidated; the task increments `completed`
+        // and reports to the latch as its final acts, so the epilogue's
+        // spawned == completed debug-assert rechecks exactly this contract.
         self.registry.push(unsafe { erase_task(task) });
     }
 }
@@ -671,10 +787,23 @@ where
     let scope = Scope {
         registry: current_registry(),
         latch: OpLatch::new(0),
+        spawned: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
         _marker: PhantomData,
     };
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(&scope)));
     scope.registry.help_until(&scope.latch);
+    // The erase_task contract for scope tasks: every closure whose `'scope`
+    // borrows die when this frame returns must already have finished. The
+    // latch wait above synchronizes-with each task's completion, so these
+    // Relaxed loads observe the final counts.
+    debug_assert_eq!(
+        // Relaxed: see above — the latch wait orders every increment first.
+        scope.spawned.load(Ordering::Relaxed),
+        // Relaxed: same; both counters are quiescent once the latch is down.
+        scope.completed.load(Ordering::Relaxed),
+        "scope epilogue: every spawned task must complete before 'scope ends",
+    );
     let task_panic = scope.latch.take_panic();
     match outcome {
         Err(payload) => panic::resume_unwind(payload),

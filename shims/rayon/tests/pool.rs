@@ -521,3 +521,35 @@ fn many_spawns_complete_under_contention() {
     let total: u64 = handles.into_iter().map(|h| h.join()).sum();
     assert_eq!(total, 3 * (0..500u64).sum::<u64>());
 }
+
+#[test]
+fn panic_propagation_survives_a_hundred_spawn_join_cycles() {
+    // Satellite of the concurrency audit: ×100 stress over JoinHandle panic
+    // propagation. Each round spawns a mix of panicking and clean tasks on
+    // the pool this process is configured with (the CI thread matrix runs
+    // this file under RAYON_NUM_THREADS ∈ {1, 2, 4}, so the sequential
+    // fallback, a minimal pool and an oversubscribed pool all see it) and
+    // asserts that every panic surfaces through exactly its own handle and
+    // that the pool stays fully usable afterwards.
+    for round in 0..100u64 {
+        let doomed = rayon::spawn(move || -> u64 {
+            panic!("round {round}: doomed task");
+        });
+        let survivors: Vec<rayon::JoinHandle<u64>> = (0..4u64)
+            .map(|i| rayon::spawn(move || round * 10 + i))
+            .collect();
+        let outcome = panic::catch_unwind(panic::AssertUnwindSafe(|| doomed.join()));
+        let payload = outcome.expect_err("panic must propagate through join");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(message, format!("round {round}: doomed task"));
+        for (i, handle) in survivors.into_iter().enumerate() {
+            assert_eq!(handle.join(), round * 10 + i as u64);
+        }
+        // The pool must not be poisoned by the panic it just delivered.
+        let sum: u64 = (0..64u64).into_par_iter().map(|x| x + round).sum();
+        assert_eq!(sum, (0..64u64).sum::<u64>() + 64 * round);
+    }
+}

@@ -1,0 +1,42 @@
+//! Schedule-permutation audit leg, compiled only under
+//! `RUSTFLAGS=--cfg gk_schedules` (the `schedules` CI job):
+//!
+//!     RUSTFLAGS='--cfg gk_schedules' cargo test -p rayon --test schedules
+//!
+//! The same scenarios also run in the plain unit suite (`cargo test -p
+//! rayon`); this leg re-runs them as an integration crate — i.e. against the
+//! library compiled *without* `cfg(test)` — so the audit also covers the
+//! exact cfg combination production code is built with.
+#![cfg(gk_schedules)]
+
+use std::collections::HashSet;
+
+use rayon::schedule::{adversarial_seeds, run_scenario, sweep};
+
+#[test]
+fn committed_corpus_replays_exactly_once() {
+    let corpus = adversarial_seeds();
+    assert!(corpus.len() >= 16, "corpus unexpectedly small");
+    for (seed, threads) in corpus {
+        run_scenario(seed, threads);
+    }
+}
+
+#[test]
+fn thousand_distinct_interleavings_exactly_once() {
+    let reports = sweep(1100);
+    let distinct: HashSet<u64> = reports.iter().map(|r| r.trace_hash).collect();
+    assert!(
+        distinct.len() >= 1000,
+        "only {} distinct interleavings across {} runs",
+        distinct.len(),
+        reports.len(),
+    );
+}
+
+#[test]
+fn wide_pools_survive_the_corpus() {
+    for (seed, _) in adversarial_seeds().into_iter().take(8) {
+        run_scenario(seed, 8);
+    }
+}
