@@ -11,6 +11,19 @@
 //! * the **batch size** — the number of filtrations per kernel call, maximised so
 //!   the number of host↔device transfers stays minimal (§3.1: "the configuration
 //!   step ensures that the batch size is maximized").
+//!
+//! ```
+//! use gk_core::config::{EncodingActor, FilterConfig, SystemConfig};
+//! use gk_gpusim::device::DeviceSpec;
+//!
+//! // 100-base reads, error threshold e = 4, host-side 2-bit encoding.
+//! let config = FilterConfig::new(100, 4).with_encoding(EncodingActor::Host);
+//! assert_eq!(config.words_per_sequence(), 7); // ⌈100 / 16 bases-per-word⌉
+//!
+//! // The system-configuration step sizes batches for a concrete device.
+//! let system = SystemConfig::configure(&DeviceSpec::gtx_1080_ti(), &config);
+//! assert!(system.batch_size > 0);
+//! ```
 
 use gk_filters::SimdMode;
 use gk_gpusim::device::DeviceSpec;

@@ -18,12 +18,16 @@
 //!   throughput comparison (Table 2), measured in real wall-clock time.
 //! * [`timing`] — timing breakdowns and the "billions of filtrations in 40 minutes"
 //!   throughput metric used throughout §5.2.
+//! * [`backend`] — [`backend::FilterBackend`]: the cpu/gpu/multi-gpu execution
+//!   paths behind one registry trait, the dispatch seam of the `gk-serve`
+//!   filter-as-a-service daemon.
 //!
 //! The filtering *algorithm* (masks, amendment, boundary fix) lives in
 //! `gk-filters`; this crate wires it into the execution substrate from `gk-gpusim`.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod cpu;
 pub mod gpu;
@@ -31,6 +35,10 @@ pub mod multi_gpu;
 pub mod pipeline;
 pub mod timing;
 
+pub use backend::{
+    BackendRegistry, CpuSimdBackend, FilterBackend, FilterJob, FilterKind, GpuSimBackend,
+    MultiGpuBackend,
+};
 pub use config::{EncodingActor, FilterConfig, SystemConfig};
 pub use cpu::{CpuFilterRun, GateKeeperCpu};
 pub use gpu::{FilterRun, GateKeeperGpu};

@@ -410,8 +410,8 @@ pub fn magnet_pair_decision_reference(read: &[u8], reference: &[u8], e: u32) -> 
 /// The `2·min(e, len−1) + 1` masks are built lane-parallel with the same row
 /// primitives as the GateKeeper kernel. The extraction loop is where MAGNET
 /// diverges from GateKeeper's uniform algebra: each lane extracts different
-/// runs at different positions, so the epilogue steps all four [`Extraction`]
-/// states round-major and retires lanes that run out of zero runs from a
+/// runs at different positions, so the epilogue steps all four per-lane
+/// extraction states round-major and retires lanes that run out of zero runs from a
 /// [`LaneMask`] while the group keeps stepping — the bookkeeping a real GPU
 /// warp needs for the same loop.
 pub fn magnet_kernel_x4(group: &SoaGroup, e: u32) -> [FilterDecision; SOA_LANES] {

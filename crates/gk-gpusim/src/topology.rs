@@ -11,7 +11,7 @@
 //! rate) instead of letting them overlap for free.
 //!
 //! The model is deliberately symmetric with the uncontended one: a transfer on
-//! a free link costs exactly [`Link::transfer_seconds`] =
+//! a free link costs exactly
 //! [`PcieLink::transfer_seconds`](crate::device::PcieLink::transfer_seconds),
 //! so an [`TopologyKind::Independent`] topology reproduces the plain
 //! per-device pipeline numbers bit-for-bit and all contention shows up as

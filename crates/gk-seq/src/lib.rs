@@ -14,7 +14,7 @@
 //!   paper), with encode/decode, slicing and word-level access used by the filters.
 //! * [`fasta`] / [`fastq`] — minimal, dependency-free FASTA/FASTQ readers and
 //!   writers for interoperability with real data when available.
-//! * [`reference`] — synthetic reference-genome generator with controllable repeat
+//! * [`mod@reference`] — synthetic reference-genome generator with controllable repeat
 //!   structure (repeats are what make seeding produce many candidate locations).
 //! * [`simulate`] — a Mason-like read simulator: samples reads from a reference and
 //!   injects substitutions, insertions, deletions and unknown (`N`) bases according
@@ -31,6 +31,9 @@
 //! * [`stream`] — streaming pair sources: deterministic iterators of (optionally
 //!   2-bit encoded or raw-gathered) pair batches, so 30-million-pair runs never
 //!   materialize a full set.
+//! * [`frame`] — the length-prefixed binary wire format of the `gk-serve`
+//!   filter service: request/cancel/response frames and the packed decision
+//!   words clients receive.
 
 #![warn(missing_docs)]
 
@@ -38,6 +41,7 @@ pub mod alphabet;
 pub mod datasets;
 pub mod fasta;
 pub mod fastq;
+pub mod frame;
 pub mod packed;
 pub mod pairs;
 pub mod raw;

@@ -1,0 +1,208 @@
+//! The client side: a thread-safe handle over one connection to a
+//! [`GkServer`](crate::server::GkServer), with pipelined submissions and a
+//! background reader dispatching responses to per-request channels.
+
+use gk_core::backend::FilterKind;
+use gk_filters::traits::FilterDecision;
+use gk_seq::frame::{
+    decision_word_fields, read_frame, write_frame, CancelFrame, Frame, RequestFrame, ResponseFrame,
+    ResponseStatus,
+};
+use gk_seq::pairs::SequencePair;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Terminal result of one request, decoded from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Decisions for every submitted pair, in submission order.
+    Decisions(Vec<FilterDecision>),
+    /// Rejected by backpressure; resubmit after the hint.
+    Rejected {
+        /// Server-suggested backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// Cancelled before execution completed.
+    Cancelled,
+    /// The server could not process the request.
+    Error(String),
+}
+
+struct ClientShared {
+    writer: Mutex<BufWriter<TcpStream>>,
+    pending: Mutex<HashMap<u64, mpsc::Sender<ResponseFrame>>>,
+    next_id: AtomicU64,
+    tenant: u32,
+}
+
+/// A connection to the filter service. Cheap to clone; clones share the
+/// connection and may submit concurrently.
+#[derive(Clone)]
+pub struct GkClient {
+    shared: Arc<ClientShared>,
+}
+
+/// An in-flight request: redeem with [`PendingReply::wait`].
+pub struct PendingReply {
+    /// The request id, usable with [`GkClient::cancel`].
+    pub id: u64,
+    receiver: mpsc::Receiver<ResponseFrame>,
+}
+
+impl GkClient {
+    /// Connects as tenant 0. See [`GkClient::connect_as`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<GkClient> {
+        GkClient::connect_as(addr, 0)
+    }
+
+    /// Connects to a running server, accounting all submissions to `tenant`
+    /// in the server's fair queue.
+    pub fn connect_as<A: ToSocketAddrs>(addr: A, tenant: u32) -> io::Result<GkClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            writer: Mutex::new(BufWriter::new(stream)),
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            tenant,
+        });
+        let reader_shared = shared.clone();
+        std::thread::Builder::new()
+            .name("gk-client-reader".to_string())
+            .spawn(move || reader_loop(read_half, &reader_shared))
+            .map_err(io::Error::other)?;
+        Ok(GkClient { shared })
+    }
+
+    /// Submits a request without blocking on the result. `deadline` is the
+    /// maximum queueing delay the server's batcher may impose before
+    /// flushing this request's batch.
+    pub fn submit(
+        &self,
+        kind: FilterKind,
+        threshold: u32,
+        deadline: Duration,
+        pairs: Vec<SequencePair>,
+    ) -> io::Result<PendingReply> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed); // Relaxed: only uniqueness matters, no ordering with other memory.
+        let (tx, rx) = mpsc::channel();
+        match self.shared.pending.lock() {
+            Ok(mut pending) => {
+                pending.insert(id, tx);
+            }
+            Err(_) => return Err(io::Error::other("client reader panicked")),
+        }
+        let frame = Frame::Request(RequestFrame {
+            id,
+            tenant: self.shared.tenant,
+            kind: kind.code(),
+            threshold,
+            deadline_micros: deadline.as_micros() as u64,
+            pairs,
+        });
+        let result = match self.shared.writer.lock() {
+            Ok(mut writer) => write_frame(&mut *writer, &frame),
+            Err(_) => Err(io::Error::other("client writer panicked")),
+        };
+        if let Err(err) = result {
+            if let Ok(mut pending) = self.shared.pending.lock() {
+                pending.remove(&id);
+            }
+            return Err(err);
+        }
+        Ok(PendingReply { id, receiver: rx })
+    }
+
+    /// Asks the server to drop a request's not-yet-batched work. The pending
+    /// reply still resolves — to `Cancelled` if the cancellation won the
+    /// race, to its normal result otherwise.
+    pub fn cancel(&self, id: u64) -> io::Result<()> {
+        let frame = Frame::Cancel(CancelFrame { id });
+        match self.shared.writer.lock() {
+            Ok(mut writer) => write_frame(&mut *writer, &frame),
+            Err(_) => Err(io::Error::other("client writer panicked")),
+        }
+    }
+
+    /// Submit-and-wait sugar over [`GkClient::submit`].
+    pub fn filter(
+        &self,
+        kind: FilterKind,
+        threshold: u32,
+        deadline: Duration,
+        pairs: Vec<SequencePair>,
+    ) -> io::Result<Reply> {
+        self.submit(kind, threshold, deadline, pairs)?.wait()
+    }
+}
+
+impl PendingReply {
+    /// Blocks until the terminal reply arrives. Errors if the connection
+    /// died first.
+    pub fn wait(self) -> io::Result<Reply> {
+        self.receiver
+            .recv()
+            .map(decode_response)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionAborted, "connection closed"))
+    }
+
+    /// Like [`PendingReply::wait`] with a timeout; `Ok(None)` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> io::Result<Option<Reply>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(decode_response(frame))),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "connection closed",
+            )),
+        }
+    }
+}
+
+fn decode_response(frame: ResponseFrame) -> Reply {
+    match frame.status {
+        ResponseStatus::Ok => Reply::Decisions(
+            frame
+                .decisions
+                .iter()
+                .map(|&word| {
+                    let (estimated_edits, accepted, undefined) = decision_word_fields(word);
+                    FilterDecision {
+                        accepted,
+                        estimated_edits,
+                        undefined,
+                    }
+                })
+                .collect(),
+        ),
+        ResponseStatus::Rejected => Reply::Rejected {
+            retry_after: Duration::from_micros(frame.retry_after_micros),
+        },
+        ResponseStatus::Cancelled => Reply::Cancelled,
+        ResponseStatus::Error => Reply::Error(frame.message),
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<ClientShared>) {
+    let mut reader = BufReader::new(stream);
+    // Servers only send responses; any other frame, clean EOF, or read error
+    // ends the session.
+    while let Ok(Some(Frame::Response(response))) = read_frame(&mut reader) {
+        let sender = match shared.pending.lock() {
+            Ok(mut pending) => pending.remove(&response.id),
+            Err(poisoned) => poisoned.into_inner().remove(&response.id),
+        };
+        if let Some(sender) = sender {
+            let _ = sender.send(response);
+        }
+    }
+    // Disconnect every waiter so `wait` errors instead of hanging.
+    if let Ok(mut pending) = shared.pending.lock() {
+        pending.clear();
+    }
+}

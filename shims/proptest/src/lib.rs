@@ -112,7 +112,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification accepted by [`vec`] (mirrors `proptest::collection::SizeRange`).
+    /// Element-count specification accepted by [`vec()`] (mirrors `proptest::collection::SizeRange`).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

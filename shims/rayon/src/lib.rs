@@ -3,7 +3,7 @@
 //! The build environment has no registry access, so this crate reproduces the
 //! slice of rayon's API the workspace uses — `par_iter` / `into_par_iter` /
 //! `par_iter_mut` / `par_chunks`, `join`, `scope`, and `ThreadPoolBuilder` /
-//! `ThreadPool::install` — on top of a hand-rolled pool (see [`pool`] for the
+//! `ThreadPool::install` — on top of a hand-rolled pool (see the `pool` module for the
 //! design: a global injector plus per-worker Chase–Lev-style deques drained by
 //! `std::thread` workers, help-while-waiting for deadlock-free nesting, and
 //! per-operation panic capture).

@@ -635,7 +635,7 @@ where
     }
 }
 
-/// Handle to one fire-and-join task spawned with [`spawn_task`]: joining blocks
+/// Handle to one fire-and-join task spawned with `spawn_task`: joining blocks
 /// until the task has run (helping the pool if the caller is one of its
 /// workers), re-throws the task's panic, and returns its result.
 pub struct JoinHandle<T> {
@@ -742,7 +742,7 @@ pub struct Scope<'scope> {
 
 impl<'scope> Scope<'scope> {
     /// Spawns a task that may borrow from outside the scope. The task becomes
-    /// stealable immediately; the surrounding [`scope`] call waits for it.
+    /// stealable immediately; the surrounding [`scope`](crate::scope) call waits for it.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,

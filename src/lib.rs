@@ -17,6 +17,9 @@
 //!   encoding, kernel launches, multi-GPU dispatch, and the multicore CPU baseline.
 //! * [`mapper`] — an mrFAST-like seed-and-extend read mapper with a pre-alignment
 //!   filter hook, used for the whole-genome experiments.
+//! * [`serve`] — filter-as-a-service: a dynamic-batching daemon + client speaking
+//!   length-prefixed binary frames, executing through the [`core::FilterBackend`]
+//!   registry.
 //!
 //! ## Quick start
 //!
@@ -38,6 +41,7 @@ pub use gk_filters as filters;
 pub use gk_gpusim as gpusim;
 pub use gk_mapper as mapper;
 pub use gk_seq as seq;
+pub use gk_serve as serve;
 
 /// Semantic version of the reproduction.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
